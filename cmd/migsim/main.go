@@ -1,0 +1,238 @@
+// Command migsim runs the reproduction experiments: every table and
+// figure of the paper's evaluation section, the §4.5 summary, and the
+// design-choice ablations.
+//
+// Usage:
+//
+//	migsim -exp table4-1            # one experiment
+//	migsim -exp all                 # everything
+//	migsim -exp figure4-1 -kinds Minprog,Chess
+//	migsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"accentmig/internal/core"
+	"accentmig/internal/experiments"
+	"accentmig/internal/workload"
+)
+
+var experimentOrder = []string{
+	"table4-1", "table4-2", "table4-3", "table4-4", "table4-5",
+	"figure4-1", "figure4-2", "figure4-3", "figure4-4", "figure4-5",
+	"summary", "ablations", "precopy", "breakeven", "bystander", "residual", "hops",
+}
+
+var tunables struct {
+	physFrames int
+	bandwidth  int
+	dropProb   float64
+	csv        bool
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	kindsFlag := flag.String("kinds", "", "comma-separated workload filter (default: all seven)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.IntVar(&tunables.physFrames, "physframes", 0, "physical memory frames per machine (0 = default 600)")
+	flag.IntVar(&tunables.bandwidth, "bandwidth", 0, "link rate in bytes/sec (0 = default 375000)")
+	flag.Float64Var(&tunables.dropProb, "droprate", 0, "frame loss probability on the link")
+	flag.BoolVar(&tunables.csv, "csv", false, "emit figure data as CSV instead of text")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experimentOrder {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	kinds, err := parseKinds(*kindsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experimentOrder
+	}
+	for _, id := range ids {
+		if err := run(id, kinds); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "migsim:", err)
+	os.Exit(1)
+}
+
+func parseKinds(s string) ([]workload.Kind, error) {
+	if s == "" {
+		return workload.Kinds(), nil
+	}
+	byName := map[string]workload.Kind{}
+	for _, k := range workload.Kinds() {
+		byName[strings.ToLower(k.String())] = k
+	}
+	var out []workload.Kind
+	for _, name := range strings.Split(s, ",") {
+		k, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func run(id string, kinds []workload.Kind) error {
+	cfg := experiments.Config{}
+	cfg.Machine.PhysFrames = tunables.physFrames
+	cfg.Link.BytesPerSecond = tunables.bandwidth
+	cfg.Link.DropProb = tunables.dropProb
+	switch id {
+	case "table4-1":
+		rows, err := experiments.Table41(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable41(rows))
+	case "table4-2":
+		rows, err := experiments.Table42(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable42(rows))
+	case "table4-3":
+		rows, err := experiments.Table43(cfg, kinds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable43(rows))
+	case "table4-4":
+		rows, err := experiments.Table44(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable44(rows))
+	case "table4-5":
+		rows, err := experiments.Table45(cfg, kinds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable45(rows))
+	case "figure4-1", "figure4-2", "figure4-3", "figure4-4":
+		g, err := experiments.RunGrid(cfg, kinds)
+		if err != nil {
+			return err
+		}
+		cellsFor := map[string]func(*experiments.Grid, []workload.Kind) map[workload.Kind][]experiments.FigureCell{
+			"figure4-1": experiments.Figure41,
+			"figure4-2": experiments.Figure42,
+			"figure4-3": experiments.Figure43,
+			"figure4-4": experiments.Figure44,
+		}
+		titles := map[string][2]string{
+			"figure4-1": {"Figure 4-1: Remote Execution Times", "s"},
+			"figure4-2": {"Figure 4-2: Overall Migration Speedup vs pure-copy", "%"},
+			"figure4-3": {"Figure 4-3: Bytes Transferred", "B"},
+			"figure4-4": {"Figure 4-4: Message Handling Costs", "s"},
+		}
+		cells := cellsFor[id](g, kinds)
+		if tunables.csv {
+			fmt.Print(experiments.FormatFigureCSV(cells, kinds))
+		} else {
+			tt := titles[id]
+			fmt.Println(experiments.FormatFigure(tt[0], tt[1], cells, kinds))
+		}
+	case "figure4-5":
+		panels, err := experiments.Figure45(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFigure45(panels))
+	case "summary":
+		g, err := experiments.RunGrid(cfg, kinds)
+		if err != nil {
+			return err
+		}
+		s, err := experiments.Summarize(cfg, g, kinds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSummary(s))
+	case "ablations":
+		if err := runAblations(); err != nil {
+			return err
+		}
+	case "precopy":
+		rows, err := experiments.PreCopyComparison(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatPreCopy(rows))
+	case "breakeven":
+		rows, err := experiments.BreakevenSweep(cfg, []int{5, 10, 15, 20, 25, 30, 40, 50, 60})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatBreakeven(rows))
+	case "bystander":
+		rows, err := experiments.BystanderImpact(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatBystander(rows))
+	case "residual":
+		series, err := experiments.ResidualSeries(cfg, workload.LispDel, 0, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatResidual(workload.LispDel, series))
+	case "hops":
+		rows, err := experiments.HopPenalty(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatHopPenalty(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q (try -list)", id)
+	}
+	return nil
+}
+
+func runAblations() error {
+	pf, err := experiments.PrefetchAblation(core.PrefetchValues())
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatAblation("Ablation: prefetch (synthetic sequential)", pf))
+	ps, err := experiments.PageSizeAblation([]int{256, 512, 1024, 2048})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatAblation("Ablation: page size", ps))
+	bw, err := experiments.BandwidthAblation([]int{375_000, 3_750_000, 37_500_000})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatAblation("Ablation: network bandwidth (IOU vs Copy)", bw))
+	ca, err := experiments.IOUCacheAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatAblation("Ablation: NetMsgServer IOU cache", ca))
+	th, err := experiments.CopyThresholdAblation([]int{512, 4096, 65536, 1 << 20})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatAblation("Ablation: IPC copy/map threshold", th))
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"accentmig/internal/workload"
+)
+
+func TestParseKindsDefault(t *testing.T) {
+	kinds, err := parseKinds("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != len(workload.Kinds()) {
+		t.Errorf("default kinds = %d, want all %d", len(kinds), len(workload.Kinds()))
+	}
+}
+
+func TestParseKindsFilter(t *testing.T) {
+	kinds, err := parseKinds("Minprog, chess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 2 || kinds[0] != workload.Minprog || kinds[1] != workload.Chess {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestParseKindsCaseInsensitive(t *testing.T) {
+	kinds, err := parseKinds("lisp-t,PM-END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds[0] != workload.LispT || kinds[1] != workload.PMEnd {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestParseKindsUnknown(t *testing.T) {
+	if _, err := parseKinds("Emacs"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("table9-9", workload.Kinds()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentOrderMatchesDispatch(t *testing.T) {
+	// Every listed id must dispatch without "unknown experiment"; use a
+	// cheap workload subset so the run stays fast. Only the fast ones
+	// execute here; the expensive grid-based ids are covered by the
+	// experiments package's own tests.
+	fast := map[string]bool{"table4-1": true, "table4-2": true}
+	for _, id := range experimentOrder {
+		if !fast[id] {
+			continue
+		}
+		if err := run(id, []workload.Kind{workload.Minprog}); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package accentmig is a reproduction of "Attacking the Process
+// Migration Bottleneck" (Edward R. Zayas, SOSP 1987): the Accent/SPICE
+// copy-on-reference process migration system, rebuilt as a
+// deterministic discrete-event simulation in pure Go.
+//
+// The root package carries the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation section.
+// The implementation lives under internal/:
+//
+//   - internal/sim — deterministic discrete-event kernel
+//   - internal/vm — pages, segments, AMaps, physical memory
+//   - internal/ipc — ports and messages with memory attachments
+//   - internal/imag — the copy-on-reference wire protocol and page store
+//   - internal/pager — fault handling (FillZero / disk / imaginary)
+//   - internal/disk, internal/netlink — device timing models
+//   - internal/netmsg — the NetMsgServer: transparent IPC extension
+//     and IOU caching
+//   - internal/machine — a testbed host and the trace executor
+//   - internal/core — ExciseProcess / InsertProcess, the
+//     MigrationManager, and the three transfer strategies
+//   - internal/workload — the seven representative processes
+//   - internal/experiments — one harness per table and figure
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// paper-to-module map, and EXPERIMENTS.md for paper-vs-measured results.
+package accentmig

@@ -1,0 +1,50 @@
+// Strategies: migrate the same file-processing workload under
+// pure-copy, resident-set, and pure-IOU transfer at several prefetch
+// values, and print the end-to-end comparison — a miniature of the
+// paper's Figure 4-2 for one program.
+//
+//	go run ./examples/strategies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"accentmig/internal/core"
+	"accentmig/internal/experiments"
+	"accentmig/internal/workload"
+)
+
+func main() {
+	kind := workload.PMStart
+	fmt.Printf("migrating %s (touches %d%% of its RealMem remotely)\n\n",
+		kind, int(100*float64(workload.PaperNumbers(kind).TouchedIOU*512)/float64(workload.PaperNumbers(kind).RealBytes)))
+	fmt.Printf("%-12s %10s %10s %10s %12s\n", "strategy", "transfer", "exec", "end2end", "wire bytes")
+
+	show := func(s core.Strategy, pf int) {
+		tr, err := experiments.RunTrial(experiments.Config{}, kind, s, pf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := s.String()
+		if s != core.PureCopy {
+			label = fmt.Sprintf("%s/PF%d", s, pf)
+		}
+		fmt.Printf("%-12s %9.2fs %9.2fs %9.2fs %12d\n",
+			label, tr.Report.RIMASTransfer.Seconds(), tr.RemoteExec.Seconds(),
+			tr.EndToEnd.Seconds(), tr.BytesTotal)
+	}
+
+	show(core.PureCopy, 0)
+	for _, pf := range []int{0, 1, 7} {
+		show(core.ResidentSet, pf)
+	}
+	for _, pf := range []int{0, 1, 7} {
+		show(core.PureIOU, pf)
+	}
+
+	fmt.Println("\nThe lazy strategies win the transfer phase outright; whether they")
+	fmt.Println("win end-to-end depends on how much of the space the program touches")
+	fmt.Println("remotely — the paper's breakeven is about a quarter of RealMem —")
+	fmt.Println("and prefetch pulls sequential programs back across that line.")
+}

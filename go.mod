@@ -1,0 +1,3 @@
+module accentmig
+
+go 1.22

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"accentmig/internal/ipc"
+	"accentmig/internal/trace"
+	"accentmig/internal/vm"
+	"accentmig/internal/wire"
+)
+
+// This file registers wire codecs for the migration protocol bodies,
+// making the Core and RIMAS context messages genuinely byte-
+// serializable: the destination reconstructs the AMap, the run table,
+// the port rights (with their pending mail), and the reference program
+// from the frame alone. Pending-mail bodies without codecs of their
+// own ride in the frame's extras, in order.
+
+// enc/dec mirror wire's little helpers (kept private there; the small
+// duplication buys package independence).
+type enc struct{ b []byte }
+
+func (w *enc) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *enc) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *enc) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *enc) i64(v int64)  { w.u64(uint64(v)) }
+func (w *enc) dur(v time.Duration) {
+	w.i64(int64(v))
+}
+func (w *enc) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *enc) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *enc) str(v string) { w.bytes([]byte(v)) }
+
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (r *dec) need(n int) ([]byte, error) {
+	if r.off+n > len(r.b) {
+		return nil, fmt.Errorf("core: truncated body")
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}
+func (r *dec) u8() uint8 {
+	v, err := r.need(1)
+	if err != nil {
+		panic(err)
+	}
+	return v[0]
+}
+func (r *dec) u32() uint32 {
+	v, err := r.need(4)
+	if err != nil {
+		panic(err)
+	}
+	return binary.BigEndian.Uint32(v)
+}
+func (r *dec) u64() uint64 {
+	v, err := r.need(8)
+	if err != nil {
+		panic(err)
+	}
+	return binary.BigEndian.Uint64(v)
+}
+func (r *dec) i64() int64         { return int64(r.u64()) }
+func (r *dec) dur() time.Duration { return time.Duration(r.i64()) }
+func (r *dec) boolv() bool        { return r.u8() != 0 }
+func (r *dec) bytes() []byte {
+	n := int(r.u32())
+	v, err := r.need(n)
+	if err != nil {
+		panic(err)
+	}
+	out := make([]byte, n)
+	copy(out, v)
+	return out
+}
+func (r *dec) str() string { return string(r.bytes()) }
+
+// guard converts the dec panics into errors at codec boundaries.
+func guard(fn func() (any, error)) (v any, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok {
+				v, err = nil, e
+				return
+			}
+			panic(rec)
+		}
+	}()
+	return fn()
+}
+
+func encodeAMap(w *enc, m *vm.AMap) {
+	w.i64(int64(m.PageSize))
+	w.u32(uint32(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.u64(uint64(e.Start))
+		w.u64(uint64(e.End))
+		w.u8(uint8(e.Access))
+	}
+	w.i64(int64(m.Stats.Regions))
+	w.i64(int64(m.Stats.Runs))
+	w.i64(int64(m.Stats.MaterializedPages))
+	w.u64(m.Stats.ValidatedPages)
+}
+
+func decodeAMap(r *dec) *vm.AMap {
+	m := &vm.AMap{PageSize: int(r.i64())}
+	n := int(r.u32())
+	for i := 0; i < n; i++ {
+		m.Entries = append(m.Entries, vm.AMapEntry{
+			Start:  vm.Addr(r.u64()),
+			End:    vm.Addr(r.u64()),
+			Access: vm.Accessibility(r.u8()),
+		})
+	}
+	m.Stats.Regions = int(r.i64())
+	m.Stats.Runs = int(r.i64())
+	m.Stats.MaterializedPages = int(r.i64())
+	m.Stats.ValidatedPages = r.u64()
+	return m
+}
+
+// trace op tags for the program codec.
+const (
+	opTagCompute = iota
+	opTagIOWait
+	opTagTouch
+	opTagSeqScan
+	opTagRandTouch
+	opTagWSLoop
+	opTagMigrate
+)
+
+func encodeProgram(w *enc, pr *trace.Program) error {
+	if pr == nil {
+		w.u32(0)
+		return nil
+	}
+	w.u32(uint32(len(pr.Ops)))
+	for _, op := range pr.Ops {
+		switch o := op.(type) {
+		case trace.Compute:
+			w.u8(opTagCompute)
+			w.dur(o.D)
+		case trace.IOWait:
+			w.u8(opTagIOWait)
+			w.dur(o.D)
+		case trace.Touch:
+			w.u8(opTagTouch)
+			w.u64(uint64(o.Addr))
+			w.bool(o.Write)
+		case trace.SeqScan:
+			w.u8(opTagSeqScan)
+			w.u64(uint64(o.Start))
+			w.u64(o.Bytes)
+			w.u64(o.Stride)
+			w.bool(o.Write)
+			w.dur(o.PerTouch)
+		case trace.RandTouch:
+			w.u8(opTagRandTouch)
+			w.u64(uint64(o.Start))
+			w.u64(o.Bytes)
+			w.i64(int64(o.Count))
+			w.u64(o.Seed)
+			w.bool(o.Write)
+			w.dur(o.PerTouch)
+		case trace.WSLoop:
+			w.u8(opTagWSLoop)
+			w.u64(uint64(o.Start))
+			w.i64(int64(o.Pages))
+			w.i64(int64(o.Iters))
+			w.dur(o.Compute)
+			w.bool(o.Write)
+		case trace.MigratePoint:
+			w.u8(opTagMigrate)
+		default:
+			return fmt.Errorf("core: cannot encode trace op %T", op)
+		}
+	}
+	return nil
+}
+
+func decodeProgram(r *dec) (*trace.Program, error) {
+	n := int(r.u32())
+	if n == 0 {
+		return nil, nil
+	}
+	pr := &trace.Program{}
+	for i := 0; i < n; i++ {
+		switch tag := r.u8(); tag {
+		case opTagCompute:
+			pr.Ops = append(pr.Ops, trace.Compute{D: r.dur()})
+		case opTagIOWait:
+			pr.Ops = append(pr.Ops, trace.IOWait{D: r.dur()})
+		case opTagTouch:
+			pr.Ops = append(pr.Ops, trace.Touch{Addr: vm.Addr(r.u64()), Write: r.boolv()})
+		case opTagSeqScan:
+			pr.Ops = append(pr.Ops, trace.SeqScan{
+				Start: vm.Addr(r.u64()), Bytes: r.u64(), Stride: r.u64(),
+				Write: r.boolv(), PerTouch: r.dur(),
+			})
+		case opTagRandTouch:
+			pr.Ops = append(pr.Ops, trace.RandTouch{
+				Start: vm.Addr(r.u64()), Bytes: r.u64(), Count: int(r.i64()),
+				Seed: r.u64(), Write: r.boolv(), PerTouch: r.dur(),
+			})
+		case opTagWSLoop:
+			pr.Ops = append(pr.Ops, trace.WSLoop{
+				Start: vm.Addr(r.u64()), Pages: int(r.i64()), Iters: int(r.i64()),
+				Compute: r.dur(), Write: r.boolv(),
+			})
+		case opTagMigrate:
+			pr.Ops = append(pr.Ops, trace.MigratePoint{})
+		default:
+			return nil, fmt.Errorf("core: unknown trace op tag %d", tag)
+		}
+	}
+	return pr, nil
+}
+
+func init() {
+	wire.RegisterBody(OpCore, wire.BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			cb, ok := v.(*CoreBody)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *CoreBody, got %T", v)
+			}
+			w := &enc{}
+			var extras []any
+			w.str(cb.ProcName)
+			encodeAMap(w, cb.AMap)
+			w.u32(uint32(len(cb.Rights)))
+			for _, rt := range cb.Rights {
+				w.u64(uint64(rt.ID))
+				w.str(rt.Name)
+				w.u32(uint32(len(rt.Pending)))
+				for _, pm := range rt.Pending {
+					frame, ex, err := wire.EncodeMessage(pm)
+					if err != nil {
+						return nil, nil, fmt.Errorf("pending mail: %w", err)
+					}
+					w.bytes(frame)
+					w.u32(uint32(len(ex)))
+					extras = append(extras, ex...)
+				}
+			}
+			w.i64(int64(cb.MicrostateBytes))
+			w.i64(int64(cb.KernelStackBytes))
+			w.i64(int64(cb.PCBBytes))
+			w.i64(int64(cb.PC))
+			if err := encodeProgram(w, cb.Program); err != nil {
+				return nil, nil, err
+			}
+			w.i64(int64(cb.Prefetch))
+			return w.b, extras, nil
+		},
+		Decode: func(b []byte, extras []any) (any, error) {
+			return guard(func() (any, error) {
+				r := &dec{b: b}
+				cb := &CoreBody{ProcName: r.str()}
+				cb.AMap = decodeAMap(r)
+				nRights := int(r.u32())
+				for i := 0; i < nRights; i++ {
+					rt := PortRight{ID: ipc.PortID(r.u64()), Name: r.str()}
+					nMail := int(r.u32())
+					for j := 0; j < nMail; j++ {
+						frame := r.bytes()
+						nex := int(r.u32())
+						if nex > len(extras) {
+							return nil, fmt.Errorf("core: pending mail wants %d extras, have %d", nex, len(extras))
+						}
+						ex := extras[:nex]
+						extras = extras[nex:]
+						pm, err := wire.DecodeMessage(frame, ex)
+						if err != nil {
+							return nil, fmt.Errorf("pending mail: %w", err)
+						}
+						rt.Pending = append(rt.Pending, pm)
+					}
+					cb.Rights = append(cb.Rights, rt)
+				}
+				cb.MicrostateBytes = int(r.i64())
+				cb.KernelStackBytes = int(r.i64())
+				cb.PCBBytes = int(r.i64())
+				cb.PC = int(r.i64())
+				var err error
+				cb.Program, err = decodeProgram(r)
+				if err != nil {
+					return nil, err
+				}
+				cb.Prefetch = int(r.i64())
+				return cb, nil
+			})
+		},
+	})
+
+	wire.RegisterBody(OpRIMAS, wire.BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			rb, ok := v.(*RIMASBody)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *RIMASBody, got %T", v)
+			}
+			w := &enc{}
+			w.str(rb.ProcName)
+			w.bool(rb.HoldAtDest)
+			w.bool(rb.PreCopied)
+			w.u32(uint32(len(rb.Runs)))
+			for _, run := range rb.Runs {
+				w.u64(uint64(run.VA))
+				w.u32(run.Pages)
+				w.bool(run.Resident)
+			}
+			return w.b, nil, nil
+		},
+		Decode: func(b []byte, _ []any) (any, error) {
+			return guard(func() (any, error) {
+				r := &dec{b: b}
+				rb := &RIMASBody{ProcName: r.str(), HoldAtDest: r.boolv(), PreCopied: r.boolv()}
+				n := int(r.u32())
+				for i := 0; i < n; i++ {
+					rb.Runs = append(rb.Runs, CollapsedRun{
+						VA: vm.Addr(r.u64()), Pages: r.u32(), Resident: r.boolv(),
+					})
+				}
+				return rb, nil
+			})
+		},
+	})
+
+	ackCodec := wire.BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			ab, ok := v.(*AckBody)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *AckBody, got %T", v)
+			}
+			w := &enc{}
+			w.str(ab.ProcName)
+			w.dur(ab.CoreArrived)
+			w.dur(ab.RIMASArrived)
+			w.dur(ab.InsertDone)
+			w.dur(ab.Insert.Overall)
+			w.i64(int64(ab.Insert.ArrivedPages))
+			w.i64(int64(ab.Insert.IOURuns))
+			w.i64(int64(ab.Insert.ZeroRuns))
+			w.str(ab.Err)
+			return w.b, nil, nil
+		},
+		Decode: func(b []byte, _ []any) (any, error) {
+			return guard(func() (any, error) {
+				r := &dec{b: b}
+				ab := &AckBody{ProcName: r.str()}
+				ab.CoreArrived = r.dur()
+				ab.RIMASArrived = r.dur()
+				ab.InsertDone = r.dur()
+				ab.Insert.Overall = r.dur()
+				ab.Insert.ArrivedPages = int(r.i64())
+				ab.Insert.IOURuns = int(r.i64())
+				ab.Insert.ZeroRuns = int(r.i64())
+				ab.Err = r.str()
+				return ab, nil
+			})
+		},
+	}
+	wire.RegisterBody(OpMigrateAck, ackCodec)
+	wire.RegisterBody(OpCoreAck, ackCodec)
+
+	wire.RegisterBody(OpPreCopy, wire.BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			pb, ok := v.(*PreCopyBody)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *PreCopyBody, got %T", v)
+			}
+			w := &enc{}
+			w.str(pb.ProcName)
+			w.i64(int64(pb.Round))
+			return w.b, nil, nil
+		},
+		Decode: func(b []byte, _ []any) (any, error) {
+			return guard(func() (any, error) {
+				r := &dec{b: b}
+				return &PreCopyBody{ProcName: r.str(), Round: int(r.i64())}, nil
+			})
+		},
+	})
+	wire.RegisterBody(OpPreCopyAck, ackCodec)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"accentmig/internal/imag"
+	"accentmig/internal/ipc"
+	"accentmig/internal/machine"
+	"accentmig/internal/sim"
+	"accentmig/internal/vm"
+)
+
+// DissolveIOUs eagerly pulls every still-owed page of the process's
+// imaginary segments from their backers (the OpFlush extension),
+// removing the residual dependency a lazily migrated process leaves on
+// its old host. It returns the number of pages fetched.
+//
+// This is the knob for the trade-off §4.4.3 hints at: copy-on-reference
+// spreads costs over the process's remote lifetime, but until the IOUs
+// dissolve, the source must stay up and keep serving. Flushing after
+// the process settles converts the remaining promise into one bulk
+// transfer at a quiet moment.
+func DissolveIOUs(p *sim.Proc, m *machine.Machine, pr *machine.Process) (int, error) {
+	fetched := 0
+	seen := map[uint64]bool{}
+	for _, r := range pr.AS.Regions() {
+		seg := r.Seg
+		if seg.Class != vm.ImagSeg || seen[seg.ID] {
+			continue
+		}
+		seen[seg.ID] = true
+		rep, err := m.IPC.Call(p, &ipc.Message{
+			Op:           imag.OpFlush,
+			To:           ipc.PortID(seg.BackingPort),
+			Body:         &imag.FlushRequest{SegID: seg.ID},
+			BodyBytes:    imag.FlushRequestBytes,
+			FaultSupport: true,
+		})
+		if err != nil {
+			return fetched, fmt.Errorf("core: dissolve segment %d: %w", seg.ID, err)
+		}
+		body, ok := rep.Body.(*imag.ReadReply)
+		if !ok {
+			return fetched, fmt.Errorf("core: dissolve segment %d: bad reply %T", seg.ID, rep.Body)
+		}
+		for _, pg := range body.Pages {
+			// Skip pages already fetched by earlier faults.
+			if seg.Page(pg.Index) != nil {
+				continue
+			}
+			vp := seg.Materialize(pg.Index, pg.Data)
+			vp.MarkWritten() // no local disk copy yet
+			m.Pager.Install(seg, pg.Index)
+			fetched++
+		}
+	}
+	return fetched, nil
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"accentmig/internal/ipc"
+	"accentmig/internal/machine"
+	"accentmig/internal/sim"
+	"accentmig/internal/trace"
+	"accentmig/internal/vm"
+)
+
+// IPC operation codes for the migration protocol.
+const (
+	// OpCore carries the Core context message (Body: *CoreBody).
+	OpCore = 0x2001
+	// OpRIMAS carries the collapsed address space (Body: *RIMASBody).
+	OpRIMAS = 0x2002
+	// OpMigrateAck confirms insertion (Body: *AckBody).
+	OpMigrateAck = 0x2003
+	// OpCoreAck confirms Core-context arrival (Body: *AckBody).
+	OpCoreAck = 0x2004
+)
+
+// PortRight names one transferred port, together with the mail still
+// queued on it — relocation must not lose undelivered messages.
+type PortRight struct {
+	ID      ipc.PortID
+	Name    string
+	Pending []*ipc.Message
+}
+
+// CoreBody is the first context message: everything but the address
+// space contents — microstate, kernel stack, PCB, port rights, and the
+// AMap describing the whole address space.
+type CoreBody struct {
+	ProcName         string
+	AMap             *vm.AMap
+	Rights           []PortRight
+	MicrostateBytes  int
+	KernelStackBytes int
+	PCBBytes         int
+	PC               int
+	Program          *trace.Program
+	Prefetch         int
+}
+
+// CollapsedRun describes one RealMem run of the collapsed RIMAS area:
+// Pages pages that belong at VA, drawn sequentially from the resident
+// or the lazy collapsed attachment (§3.1: the address space is
+// "collapsed into a contiguous area"; this compact table is what lets
+// InsertProcess unfold it again).
+type CollapsedRun struct {
+	VA       vm.Addr
+	Pages    uint32
+	Resident bool
+}
+
+// collapsedRunWireBytes prices one run-table entry.
+const collapsedRunWireBytes = 10
+
+// RIMASBody tags the RIMAS message with its process and carries the
+// collapsed-area run table; the memory itself travels as the message's
+// attachments.
+type RIMASBody struct {
+	ProcName string
+	// HoldAtDest leaves the reconstituted process stopped.
+	HoldAtDest bool
+	// PreCopied means the page contents were staged ahead of time by
+	// OpPreCopy rounds; the destination fills runs from its stage.
+	PreCopied bool
+	// Runs is the collapsed-area reconstruction table in VA order.
+	Runs []CollapsedRun
+}
+
+// Bytes prices the body for wire accounting.
+func (rb *RIMASBody) Bytes() int { return 64 + collapsedRunWireBytes*len(rb.Runs) }
+
+// AckBody reports insertion timestamps back to the source manager.
+type AckBody struct {
+	ProcName     string
+	CoreArrived  time.Duration
+	RIMASArrived time.Duration
+	InsertDone   time.Duration
+	Insert       InsertTimings
+	Err          string
+}
+
+// ExciseTimings breaks down ExciseProcess cost as Table 4-4 does.
+type ExciseTimings struct {
+	AMap    time.Duration
+	RIMAS   time.Duration
+	Overall time.Duration
+}
+
+// Context is an excised process, ready for shipment as two
+// self-contained IPC messages.
+type Context struct {
+	Core    *ipc.Message
+	RIMAS   *ipc.Message
+	Timings ExciseTimings
+
+	// RealPages and ResidentPages summarize what was collapsed, for
+	// experiment reporting.
+	RealPages     int
+	ResidentPages int
+	Attachments   int
+}
+
+// ExciseProcess removes the complete context of pr from machine m
+// (§3.1). After it returns, the process has ceased to exist at the
+// source: its frames are freed, its ports withdrawn (their rights
+// travel in the Core message), and its name removed from the process
+// table. The strategy shapes the RIMAS message's copy flags.
+func ExciseProcess(p *sim.Proc, m *machine.Machine, pr *machine.Process, strat Strategy, prefetch int, tun Tuning) (*Context, error) {
+	if pr.Host != m {
+		return nil, fmt.Errorf("core: excise %q: not resident on %s", pr.Name, m.Name)
+	}
+	start := p.Now()
+
+	// Phase 1: AMap construction. Cost grows with map complexity.
+	amap := vm.BuildAMap(pr.AS)
+	m.CPU.UseHigh(p, tun.AMapBase+
+		time.Duration(amap.Stats.Runs)*tun.AMapPerEntry+
+		time.Duration(amap.Stats.MaterializedPages)*tun.AMapPerRealPage)
+	amapDone := p.Now()
+
+	// Phase 2: collapse RealMem into one contiguous area (§3.1). Under
+	// the resident-set strategy the area is split in two — the resident
+	// pages (to be physically copied) and the rest (IOU-able) — and the
+	// run table records how to unfold it. Pre-existing imaginary runs
+	// keep their own IOU descriptors.
+	ctx := &Context{}
+	var runs []CollapsedRun
+	lazy := &ipc.MemAttachment{Kind: ipc.AttachData, Collapsed: true}
+	res := &ipc.MemAttachment{Kind: ipc.AttachData, Collapsed: true, Resident: true, Copy: true}
+	var imagAtts []*ipc.MemAttachment
+	var resident, real int
+	for _, e := range amap.Entries {
+		switch e.Access {
+		case vm.RealMem:
+			rs, nres, n := collapseRealRun(pr.AS, e, strat, lazy, res)
+			runs = append(runs, rs...)
+			resident += nres
+			real += n
+		case vm.ImagMem:
+			att, err := collapseImagRun(pr.AS, e)
+			if err != nil {
+				return nil, err
+			}
+			imagAtts = append(imagAtts, att)
+		}
+		// RealZeroMem runs travel only in the AMap.
+	}
+	var attachments []*ipc.MemAttachment
+	if len(res.Pages) > 0 {
+		res.Size = uint64(len(res.Pages)) * uint64(pr.AS.PageSize())
+		attachments = append(attachments, res)
+	}
+	if len(lazy.Pages) > 0 {
+		lazy.Size = uint64(len(lazy.Pages)) * uint64(pr.AS.PageSize())
+		attachments = append(attachments, lazy)
+	}
+	attachments = append(attachments, imagAtts...)
+	m.CPU.UseHigh(p, tun.CollapseBase+
+		time.Duration(resident)*tun.CollapsePerResidentPage+
+		time.Duration(real)*tun.CollapsePerRealPage)
+	collapseDone := p.Now()
+
+	// The process ceases to exist here.
+	segs := map[*vm.Segment]bool{}
+	for _, r := range pr.AS.Regions() {
+		segs[r.Seg] = true
+	}
+	for seg := range segs {
+		m.Phys.RemoveSegment(seg)
+	}
+	rights := make([]PortRight, 0, len(pr.Ports))
+	pendingBytes := 0
+	for _, port := range pr.Ports {
+		mail := port.Drain()
+		for _, pm := range mail {
+			pendingBytes += pm.WireBytes()
+		}
+		rights = append(rights, PortRight{ID: port.ID, Name: port.Name, Pending: mail})
+		m.IPC.RemovePort(port)
+	}
+	m.Remove(pr.Name)
+	pr.Status = machine.Excised
+	pr.Host = nil
+
+	coreBody := &CoreBody{
+		ProcName:         pr.Name,
+		AMap:             amap,
+		Rights:           rights,
+		MicrostateBytes:  pr.MicrostateBytes,
+		KernelStackBytes: pr.KernelStackBytes,
+		PCBBytes:         pr.PCBBytes,
+		PC:               pr.PC,
+		Program:          pr.Program,
+		Prefetch:         prefetch,
+	}
+	ctx.Core = &ipc.Message{
+		Op:        OpCore,
+		Body:      coreBody,
+		BodyBytes: pr.ContextBytes() + amap.WireBytes() + 16*len(rights) + pendingBytes,
+	}
+	// Only the resident-set strategy needs the residency-split run
+	// table on the wire; the other strategies reconstruct the collapsed
+	// area directly from the Core message's AMap, keeping the RIMAS
+	// message tiny (the paper's near-constant ≈0.2 s IOU transfers).
+	if strat != ResidentSet {
+		runs = nil
+	}
+	rimasBody := &RIMASBody{ProcName: pr.Name, Runs: runs, PreCopied: strat == PreCopied}
+	ctx.RIMAS = &ipc.Message{
+		Op:        OpRIMAS,
+		Body:      rimasBody,
+		BodyBytes: rimasBody.Bytes(),
+		Mem:       attachments,
+		NoIOUs:    strat == PureCopy,
+	}
+	ctx.Timings = ExciseTimings{
+		AMap:    amapDone - start,
+		RIMAS:   collapseDone - amapDone,
+		Overall: p.Now() - start,
+	}
+	ctx.RealPages = real
+	ctx.ResidentPages = resident
+	ctx.Attachments = len(attachments)
+	return ctx, nil
+}
+
+// collapseRealRun appends one RealMem accessibility run to the
+// collapsed area. Under the resident-set strategy the run is split at
+// residency boundaries, resident pages going to the res attachment
+// (physically copied) and the rest to lazy; the other strategies keep
+// the run whole in the lazy attachment (pure-copy forces physical
+// transmission with the message-level NoIOUs bit instead).
+func collapseRealRun(as *vm.AddressSpace, e vm.AMapEntry, strat Strategy, lazy, res *ipc.MemAttachment) ([]CollapsedRun, int, int) {
+	ps := uint64(as.PageSize())
+	var runs []CollapsedRun
+	resident, total := 0, 0
+	for a := e.Start; a < e.End; a += vm.Addr(ps) {
+		pl, ok := as.Resolve(a)
+		if !ok {
+			continue
+		}
+		pg := pl.Seg.Page(pl.PageIdx)
+		if pg == nil {
+			continue
+		}
+		total++
+		isRes := pg.State.Resident
+		if isRes {
+			resident++
+		}
+		dst := lazy
+		markRes := false
+		if strat == ResidentSet && isRes {
+			dst = res
+			markRes = true
+		}
+		if strat == PreCopied {
+			dst = nil // contents already staged at the destination
+		}
+		if n := len(runs); n > 0 && runs[n-1].Resident == markRes &&
+			e.Start <= runs[n-1].VA && a == runs[n-1].VA+vm.Addr(uint64(runs[n-1].Pages)*ps) {
+			runs[n-1].Pages++
+		} else {
+			runs = append(runs, CollapsedRun{VA: a, Pages: 1, Resident: markRes})
+		}
+		if dst != nil {
+			dst.Pages = append(dst.Pages, ipc.PageImage{Index: uint64(len(dst.Pages)), Data: pg.Data})
+		}
+	}
+	return runs, resident, total
+}
+
+// collapseImagRun re-expresses a pre-existing imaginary run as an IOU
+// attachment that keeps the original backing identity.
+func collapseImagRun(as *vm.AddressSpace, e vm.AMapEntry) (*ipc.MemAttachment, error) {
+	pl, ok := as.Resolve(e.Start)
+	if !ok {
+		return nil, fmt.Errorf("core: imaginary run at %#x unresolvable", e.Start)
+	}
+	segByteOff := pl.PageIdx * uint64(as.PageSize())
+	return &ipc.MemAttachment{
+		Kind:    ipc.AttachIOU,
+		VA:      e.Start,
+		Size:    e.Size(),
+		SegID:   pl.Seg.ID,
+		SegOff:  segByteOff,
+		SegSize: pl.Seg.Size,
+		Backing: ipc.PortID(pl.Seg.BackingPort),
+	}, nil
+}

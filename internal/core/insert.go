@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"accentmig/internal/imag"
+	"accentmig/internal/ipc"
+	"accentmig/internal/machine"
+	"accentmig/internal/sim"
+	"accentmig/internal/vm"
+)
+
+// InsertTimings breaks down InsertProcess cost.
+type InsertTimings struct {
+	Overall      time.Duration
+	ArrivedPages int
+	IOURuns      int
+	ZeroRuns     int
+}
+
+// InsertProcess recreates a process on machine m from its two context
+// messages (§3.1). The messages are self-contained: the AMap guides
+// address-space reconstruction, RIMAS data attachments provide page
+// content, and IOU attachments become stand-in imaginary segments whose
+// faults flow back to the backer. The reconstituted process is returned
+// ready for machine.Start.
+func InsertProcess(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc.Message, tun Tuning) (*machine.Process, InsertTimings, error) {
+	return InsertProcessStaged(p, m, coreMsg, rimasMsg, nil, tun)
+}
+
+// InsertProcessStaged is InsertProcess with a pre-copy stage: page
+// contents for PreCopied handoffs, keyed by VA, gathered by earlier
+// OpPreCopy rounds.
+func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc.Message, staged map[vm.Addr][]byte, tun Tuning) (*machine.Process, InsertTimings, error) {
+	start := p.Now()
+	var t InsertTimings
+	cb, ok := coreMsg.Body.(*CoreBody)
+	if !ok {
+		return nil, t, fmt.Errorf("core: insert on %s: bad Core body %T", m.Name, coreMsg.Body)
+	}
+	rb, ok := rimasMsg.Body.(*RIMASBody)
+	if !ok || rb.ProcName != cb.ProcName {
+		return nil, t, fmt.Errorf("core: insert on %s: RIMAS/Core mismatch", m.Name)
+	}
+	if _, exists := m.Process(cb.ProcName); exists {
+		return nil, t, fmt.Errorf("core: insert on %s: process %q already exists", m.Name, cb.ProcName)
+	}
+
+	as, err := vm.NewAddressSpace(vm.Config{PageSize: m.PageSize()})
+	if err != nil {
+		return nil, t, err
+	}
+	ps := uint64(m.PageSize())
+
+	// Zero-filled regions are reborn from the AMap alone.
+	for _, e := range cb.AMap.Entries {
+		if e.Access != vm.RealZeroMem {
+			continue
+		}
+		if _, err := as.Validate(e.Start, e.Size(), "zero"); err != nil {
+			return nil, t, fmt.Errorf("core: insert %q: %w", cb.ProcName, err)
+		}
+		t.ZeroRuns++
+	}
+
+	pr := &machine.Process{
+		Name:             cb.ProcName,
+		AS:               as,
+		MicrostateBytes:  cb.MicrostateBytes,
+		KernelStackBytes: cb.KernelStackBytes,
+		PCBBytes:         cb.PCBBytes,
+		Program:          cb.Program,
+		PC:               cb.PC,
+		AtMigrate:        sim.NewGate(m.K),
+		Done:             sim.NewGate(m.K),
+	}
+
+	// Unfold the collapsed area: the run table says which pages belong
+	// at which addresses; pages are consumed sequentially from the
+	// resident and lazy collapsed attachments. Each attachment becomes
+	// exactly one segment — a real one if the data physically arrived,
+	// or a stand-in imaginary segment whose faults flow to the backer —
+	// and runs map slices of it. Pre-existing imaginary attachments
+	// (with their own VA) become stand-ins of their original objects.
+	var lazySeg, resSeg *vm.Segment
+	arrived := 0
+	mkSegment := func(a *ipc.MemAttachment, label string) (*vm.Segment, error) {
+		switch a.Kind {
+		case ipc.AttachData:
+			seg := vm.NewSegment(fmt.Sprintf("%s.%s", cb.ProcName, label), a.Size, int(ps))
+			for _, img := range a.Pages {
+				pg := seg.Materialize(img.Index, img.Data)
+				// Arrived data exists nowhere on the local disk yet: an
+				// eviction must write it out.
+				pg.State.Dirty = true
+				m.Pager.Install(seg, img.Index)
+				arrived++
+			}
+			return seg, nil
+		case ipc.AttachIOU:
+			seg := vm.NewImaginarySegment(fmt.Sprintf("%s.%s", cb.ProcName, label), a.SegSize, int(ps), uint64(a.Backing))
+			// Keep the backer's identity so read requests name the
+			// object it knows.
+			seg.ID = a.SegID
+			registerDeathNotice(m, seg)
+			return seg, nil
+		}
+		return nil, fmt.Errorf("core: insert %q: unknown attachment kind %d", cb.ProcName, int(a.Kind))
+	}
+	var imagAtts []*ipc.MemAttachment
+	for _, a := range rimasMsg.Mem {
+		switch {
+		case a.Collapsed && a.Resident:
+			seg, err := mkSegment(a, "collapsed-rs")
+			if err != nil {
+				return nil, t, err
+			}
+			resSeg = seg
+		case a.Collapsed:
+			seg, err := mkSegment(a, "collapsed")
+			if err != nil {
+				return nil, t, err
+			}
+			lazySeg = seg
+		default:
+			imagAtts = append(imagAtts, a)
+		}
+	}
+	// With no explicit run table (pure-IOU / pure-copy / pre-copied),
+	// the collapsed area unfolds in AMap order: every RealMem entry is
+	// one lazy run.
+	runTable := rb.Runs
+	if len(runTable) == 0 {
+		for _, e := range cb.AMap.Entries {
+			if e.Access != vm.RealMem {
+				continue
+			}
+			runTable = append(runTable, CollapsedRun{VA: e.Start, Pages: uint32(e.Size() / ps)})
+		}
+	}
+	// A pre-copied handoff fills the collapsed area from the stage the
+	// earlier rounds built — nothing rode in the RIMAS message itself.
+	if rb.PreCopied {
+		var total uint64
+		for _, run := range runTable {
+			total += uint64(run.Pages) * ps
+		}
+		seg := vm.NewSegment(fmt.Sprintf("%s.precopied", cb.ProcName), total, int(ps))
+		var off uint64
+		for _, run := range runTable {
+			for i := uint64(0); i < uint64(run.Pages); i++ {
+				data, ok := staged[run.VA+vm.Addr(i*ps)]
+				if !ok {
+					return nil, t, fmt.Errorf("core: insert %q: page %#x missing from pre-copy stage",
+						cb.ProcName, run.VA+vm.Addr(i*ps))
+				}
+				pg := seg.Materialize(off/ps, data)
+				pg.State.Dirty = true
+				m.Pager.Install(seg, off/ps)
+				arrived++
+				off += ps
+			}
+		}
+		lazySeg = seg
+	}
+	var resOff, lazyOff uint64
+	for _, run := range runTable {
+		seg := lazySeg
+		off := &lazyOff
+		if run.Resident {
+			seg = resSeg
+			off = &resOff
+		}
+		if seg == nil {
+			return nil, t, fmt.Errorf("core: insert %q: run table references missing attachment", cb.ProcName)
+		}
+		size := uint64(run.Pages) * ps
+		if _, err := as.MapSegment(run.VA, size, seg, *off, seg.Name); err != nil {
+			return nil, t, fmt.Errorf("core: insert %q: %w", cb.ProcName, err)
+		}
+		*off += size
+	}
+	for _, a := range imagAtts {
+		seg := vm.NewImaginarySegment(fmt.Sprintf("%s.owed@%#x", cb.ProcName, a.VA), a.SegSize, int(ps), uint64(a.Backing))
+		seg.ID = a.SegID
+		if _, err := as.MapSegment(a.VA, a.Size, seg, a.SegOff, seg.Name); err != nil {
+			return nil, t, fmt.Errorf("core: insert %q: %w", cb.ProcName, err)
+		}
+		registerDeathNotice(m, seg)
+		t.IOURuns++
+	}
+	t.ArrivedPages = arrived
+
+	// Port rights rejoin the name space with their identities intact,
+	// and their undelivered mail is re-queued in order.
+	for _, r := range cb.Rights {
+		port := m.IPC.AdoptPort(r.ID, r.Name)
+		for _, pm := range r.Pending {
+			port.Enqueue(pm)
+		}
+		pr.Ports = append(pr.Ports, port)
+	}
+
+	// Rights/PCB processing (CoreRightsCPU) is charged by the manager
+	// when the Core message arrives — it belongs to the transfer phase,
+	// which is why Core transmission takes ≈1 s in all cases (§4.3.2).
+	m.CPU.UseHigh(p, tun.InsertBase+
+		time.Duration(len(cb.Rights))*tun.PerPortRight+
+		time.Duration(len(cb.AMap.Entries)+len(rimasMsg.Mem))*tun.InsertPerRun+
+		time.Duration(t.ArrivedPages)*tun.InsertPerArrivedPage)
+
+	if err := m.Adopt(pr); err != nil {
+		return nil, t, err
+	}
+	m.Pager.SetPrefetch(cb.Prefetch)
+	t.Overall = p.Now() - start
+	return pr, t, nil
+}
+
+// registerDeathNotice wires the §2.2 Imaginary Segment Death message:
+// when the last mapping of the stand-in dies, the backer is told to
+// discard its owed pages.
+func registerDeathNotice(m *machine.Machine, seg *vm.Segment) {
+	seg.OnDeath(func() {
+		m.K.Go(m.Name+".segdeath", func(p *sim.Proc) {
+			// Best effort, as in real life: a dead backer just misses
+			// the notice.
+			_ = m.IPC.Send(p, &ipc.Message{
+				Op:        imag.OpSegmentDeath,
+				To:        ipc.PortID(seg.BackingPort),
+				Body:      &imag.SegmentDeath{SegID: seg.ID},
+				BodyBytes: imag.SegmentDeathBytes,
+			})
+		})
+	})
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"accentmig/internal/ipc"
+	"accentmig/internal/machine"
+	"accentmig/internal/sim"
+	"accentmig/internal/vm"
+)
+
+// Options shape one migration.
+type Options struct {
+	Strategy Strategy
+	// Prefetch pages per imaginary fault at the destination.
+	Prefetch int
+	// WaitMigratePoint makes the source manager wait for the process to
+	// reach its MigratePoint before excising (the normal trial setup).
+	WaitMigratePoint bool
+	// HoldAtDest leaves the process stopped after insertion instead of
+	// resuming it immediately.
+	HoldAtDest bool
+}
+
+// Report is the source manager's account of one migration.
+type Report struct {
+	Excise ExciseTimings
+	Insert InsertTimings
+
+	// CoreTransfer is Core-message wall time: send start to arrival,
+	// including rights processing at the destination (§4.3.2's ≈1 s).
+	CoreTransfer time.Duration
+	// RIMASTransfer is the address-space transfer wall time the paper's
+	// Table 4-5 reports.
+	RIMASTransfer time.Duration
+	// Total is excise start to insertion complete.
+	Total time.Duration
+	// InsertDoneAt is the absolute virtual time insertion completed —
+	// the instant remote execution begins.
+	InsertDoneAt time.Duration
+
+	RealPages     int
+	ResidentPages int
+	Attachments   int
+}
+
+// ErrMigrationFailed wraps a destination-reported insertion failure.
+var ErrMigrationFailed = errors.New("core: migration failed")
+
+// Manager is the per-machine MigrationManager process (§3.2): it
+// accepts context messages on its port and reconstructs processes. The
+// source side of a migration runs synchronously in the caller via
+// MigrateTo, mirroring the simple command-driven server of the paper.
+type Manager struct {
+	M    *machine.Machine
+	Tun  Tuning
+	Port *ipc.Port
+
+	pendingCore map[string]*pending
+	// staged holds pre-copied page contents by process and VA, awaiting
+	// the final PreCopied handoff.
+	staged   map[string]map[vm.Addr][]byte
+	inserted uint64
+}
+
+type pending struct {
+	core        *ipc.Message
+	coreArrived time.Duration
+}
+
+// NewManager creates the manager and starts its service process.
+func NewManager(m *machine.Machine, tun Tuning) *Manager {
+	mgr := &Manager{
+		M:           m,
+		Tun:         tun,
+		Port:        m.IPC.AllocPort(m.Name + ".migmgr"),
+		pendingCore: make(map[string]*pending),
+		staged:      make(map[string]map[vm.Addr][]byte),
+	}
+	m.K.Go(m.Name+".migmgr", mgr.serve)
+	return mgr
+}
+
+// Inserted reports how many processes this manager has reconstructed.
+func (mgr *Manager) Inserted() uint64 { return mgr.inserted }
+
+// serve handles inbound context messages.
+func (mgr *Manager) serve(p *sim.Proc) {
+	for {
+		m := mgr.M.IPC.Receive(p, mgr.Port)
+		switch m.Op {
+		case OpCore:
+			cb, ok := m.Body.(*CoreBody)
+			if !ok {
+				continue
+			}
+			// Rights and PCB processing: the bulk of the ≈1 s Core
+			// transfer cost.
+			mgr.M.CPU.UseHigh(p, mgr.Tun.CoreRightsCPU+
+				time.Duration(len(cb.Rights))*mgr.Tun.PerPortRight)
+			mgr.pendingCore[cb.ProcName] = &pending{core: m, coreArrived: p.Now()}
+			if m.ReplyTo != 0 {
+				_ = mgr.M.IPC.Send(p, &ipc.Message{
+					Op:        OpCoreAck,
+					To:        m.ReplyTo,
+					Body:      &AckBody{ProcName: cb.ProcName, CoreArrived: p.Now()},
+					BodyBytes: 96,
+				})
+			}
+		case OpRIMAS:
+			rb, ok := m.Body.(*RIMASBody)
+			if !ok {
+				continue
+			}
+			mgr.handleRIMAS(p, rb, m)
+		case OpPreCopy:
+			pb, ok := m.Body.(*PreCopyBody)
+			if !ok {
+				continue
+			}
+			mgr.handlePreCopy(p, pb, m)
+		}
+	}
+}
+
+func (mgr *Manager) handleRIMAS(p *sim.Proc, rb *RIMASBody, m *ipc.Message) {
+	rimasArrived := p.Now()
+	pend, ok := mgr.pendingCore[rb.ProcName]
+	ack := &AckBody{ProcName: rb.ProcName, RIMASArrived: rimasArrived}
+	if !ok {
+		ack.Err = fmt.Sprintf("RIMAS for %q with no Core context", rb.ProcName)
+	} else {
+		delete(mgr.pendingCore, rb.ProcName)
+		ack.CoreArrived = pend.coreArrived
+		var stage map[vm.Addr][]byte
+		if rb.PreCopied {
+			stage = mgr.staged[rb.ProcName]
+			delete(mgr.staged, rb.ProcName)
+		}
+		pr, it, err := InsertProcessStaged(p, mgr.M, pend.core, m, stage, mgr.Tun)
+		if err != nil {
+			ack.Err = err.Error()
+		} else {
+			mgr.inserted++
+			ack.Insert = it
+			ack.InsertDone = p.Now()
+			if !rb.HoldAtDest {
+				mgr.M.Start(pr)
+			}
+		}
+	}
+	if m.ReplyTo != 0 {
+		_ = mgr.M.IPC.Send(p, &ipc.Message{
+			Op:        OpMigrateAck,
+			To:        m.ReplyTo,
+			Body:      ack,
+			BodyBytes: 96,
+		})
+	}
+}
+
+// handlePreCopy absorbs one staging round into the per-process stage.
+func (mgr *Manager) handlePreCopy(p *sim.Proc, pb *PreCopyBody, m *ipc.Message) {
+	stage := mgr.staged[pb.ProcName]
+	if stage == nil {
+		stage = make(map[vm.Addr][]byte)
+		mgr.staged[pb.ProcName] = stage
+	}
+	ps := uint64(mgr.M.PageSize())
+	pages := 0
+	for _, a := range m.Mem {
+		if a.Kind != ipc.AttachData {
+			continue
+		}
+		for _, img := range a.Pages {
+			stage[a.VA+vm.Addr(img.Index*ps)] = img.Data
+			pages++
+		}
+	}
+	// Staging cost: absorbing arrived pages.
+	mgr.M.CPU.UseHigh(p, time.Duration(pages)*mgr.Tun.InsertPerArrivedPage)
+	if m.ReplyTo != 0 {
+		_ = mgr.M.IPC.Send(p, &ipc.Message{
+			Op:        OpPreCopyAck,
+			To:        m.ReplyTo,
+			Body:      &AckBody{ProcName: pb.ProcName},
+			BodyBytes: 64,
+		})
+	}
+}
+
+// MigrateTo migrates the named process from this manager's machine to
+// the manager listening on destPort, using the given options. It runs
+// in the caller's proc on the source machine and blocks until the
+// destination acknowledges insertion.
+func (mgr *Manager) MigrateTo(p *sim.Proc, procName string, destPort ipc.PortID, opts Options) (*Report, error) {
+	pr, ok := mgr.M.Process(procName)
+	if !ok {
+		return nil, fmt.Errorf("core: no process %q on %s", procName, mgr.M.Name)
+	}
+	if opts.WaitMigratePoint {
+		pr.AtMigrate.Wait(p)
+	}
+	startAt := p.Now()
+
+	ctx, err := ExciseProcess(p, mgr.M, pr, opts.Strategy, opts.Prefetch, mgr.Tun)
+	if err != nil {
+		return nil, err
+	}
+
+	reply := mgr.M.IPC.AllocPort("migrate-reply")
+	defer mgr.M.IPC.RemovePort(reply)
+
+	// Core context first; wait for its arrival ack so the RIMAS
+	// transfer is measured on an idle wire, as Table 4-5 does. The
+	// source-side rights/PCB packaging belongs to this transfer window,
+	// which is why Core transmission takes ≈1 s in all cases.
+	coreSendStart := p.Now()
+	mgr.M.CPU.UseHigh(p, mgr.Tun.CoreRightsCPU+
+		time.Duration(len(ctx.Core.Body.(*CoreBody).Rights))*mgr.Tun.PerPortRight)
+	ctx.Core.To = destPort
+	ctx.Core.ReplyTo = reply.ID
+	if err := mgr.M.IPC.Send(p, ctx.Core); err != nil {
+		return nil, fmt.Errorf("core: sending Core context: %w", err)
+	}
+	coreAckMsg := mgr.M.IPC.Receive(p, reply)
+	coreAck, ok := coreAckMsg.Body.(*AckBody)
+	if !ok || coreAckMsg.Op != OpCoreAck {
+		return nil, fmt.Errorf("core: expected Core ack, got op %#x body %T", coreAckMsg.Op, coreAckMsg.Body)
+	}
+
+	rimasSendStart := p.Now()
+	ctx.RIMAS.Body.(*RIMASBody).HoldAtDest = opts.HoldAtDest
+	ctx.RIMAS.To = destPort
+	ctx.RIMAS.ReplyTo = reply.ID
+	if err := mgr.M.IPC.Send(p, ctx.RIMAS); err != nil {
+		return nil, fmt.Errorf("core: sending RIMAS context: %w", err)
+	}
+
+	ackMsg := mgr.M.IPC.Receive(p, reply)
+	ack, ok := ackMsg.Body.(*AckBody)
+	if !ok {
+		return nil, fmt.Errorf("core: malformed migration ack %T", ackMsg.Body)
+	}
+	if ack.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrMigrationFailed, ack.Err)
+	}
+	return &Report{
+		Excise:        ctx.Timings,
+		Insert:        ack.Insert,
+		CoreTransfer:  coreAck.CoreArrived - coreSendStart,
+		RIMASTransfer: ack.RIMASArrived - rimasSendStart,
+		Total:         ack.InsertDone - startAt,
+		InsertDoneAt:  ack.InsertDone,
+		RealPages:     ctx.RealPages,
+		ResidentPages: ctx.ResidentPages,
+		Attachments:   ctx.Attachments,
+	}, nil
+}

@@ -1,0 +1,53 @@
+// Package core implements the paper's contribution: process migration
+// by copy-on-reference address-space transfer. It provides the
+// ExciseProcess and InsertProcess primitives of §3.1 (Core and RIMAS
+// context messages), the per-machine MigrationManager of §3.2, and the
+// three transfer strategies the evaluation compares — pure-copy,
+// resident-set, and pure-IOU — plus the prefetch knob.
+package core
+
+import "fmt"
+
+// Strategy selects how the RIMAS (address-space) context message is
+// delivered to the new execution site.
+type Strategy int
+
+const (
+	// PureCopy physically transmits every RealMem byte at migration
+	// time (the conventional technique; NoIOUs set on the RIMAS).
+	PureCopy Strategy = iota
+	// ResidentSet physically transmits the pages resident in physical
+	// memory at migration time (a working-set approximation) and passes
+	// IOUs for the rest.
+	ResidentSet
+	// PureIOU passes IOUs for the whole RealMem portion; the local
+	// NetMsgServer caches the data and becomes its backer.
+	PureIOU
+	// PreCopied marks the final handoff of an iterative pre-copy
+	// migration (see Manager.PreCopyTo): the page contents are already
+	// staged at the destination, so the RIMAS carries structure only.
+	PreCopied
+)
+
+// String names the strategy as the paper does.
+func (s Strategy) String() string {
+	switch s {
+	case PureCopy:
+		return "Copy"
+	case ResidentSet:
+		return "RS"
+	case PureIOU:
+		return "IOU"
+	case PreCopied:
+		return "PreCopy"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists all transfer strategies in the paper's comparison
+// order.
+func Strategies() []Strategy { return []Strategy{PureIOU, ResidentSet, PureCopy} }
+
+// PrefetchValues are the prefetch amounts evaluated in the paper.
+func PrefetchValues() []int { return []int{0, 1, 3, 7, 15} }

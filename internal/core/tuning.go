@@ -1,0 +1,50 @@
+package core
+
+import "time"
+
+// Tuning holds the migration primitive cost model, calibrated against
+// the paper's Table 4-4 (excision), §4.3.1 (insertion), and §4.3.2
+// (≈1 s Core message). AMap construction grows with process-map
+// complexity (accessibility runs) and examined pages, never with raw
+// address-space bytes — the property that keeps excision within a
+// factor of ~4 while address spaces vary by four orders of magnitude.
+type Tuning struct {
+	// AMap construction (ExciseProcess step 1).
+	AMapBase        time.Duration
+	AMapPerEntry    time.Duration // per accessibility run produced
+	AMapPerRealPage time.Duration // per materialized page examined
+
+	// Address-space collapse into the RIMAS message (step 2).
+	CollapseBase            time.Duration
+	CollapsePerResidentPage time.Duration // unmapping resident frames
+	CollapsePerRealPage     time.Duration // remapping disk pages in bulk
+
+	// InsertProcess address-space reconstruction.
+	InsertBase           time.Duration
+	InsertPerRun         time.Duration // per region/attachment mapped
+	InsertPerArrivedPage time.Duration // per physically arrived page
+
+	// Core context message processing (microstate, PCB, rights).
+	CoreRightsCPU time.Duration // fixed, charged on each side
+	PerPortRight  time.Duration // per transferred right, each side
+}
+
+// DefaultTuning returns the calibrated defaults.
+func DefaultTuning() Tuning {
+	return Tuning{
+		AMapBase:        120 * time.Millisecond,
+		AMapPerEntry:    2000 * time.Microsecond,
+		AMapPerRealPage: 250 * time.Microsecond,
+
+		CollapseBase:            150 * time.Millisecond,
+		CollapsePerResidentPage: 1300 * time.Microsecond,
+		CollapsePerRealPage:     50 * time.Microsecond,
+
+		InsertBase:           150 * time.Millisecond,
+		InsertPerRun:         500 * time.Microsecond,
+		InsertPerArrivedPage: 150 * time.Microsecond,
+
+		CoreRightsCPU: 400 * time.Millisecond,
+		PerPortRight:  10 * time.Millisecond,
+	}
+}

@@ -1,0 +1,109 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"accentmig/internal/sim"
+)
+
+func TestReadTiming(t *testing.T) {
+	k := sim.New()
+	d := New(k, "d0", Config{Seek: 30 * time.Millisecond, BytesPerSecond: 512000})
+	var done time.Duration
+	k.Go("reader", func(p *sim.Proc) {
+		d.Read(p, 512)
+		done = p.Now()
+	})
+	k.Run()
+	want := 30*time.Millisecond + time.Millisecond // 512B at 512KB/s = 1ms
+	if done != want {
+		t.Errorf("read finished at %v, want %v", done, want)
+	}
+	if d.Reads() != 1 || d.BytesRead() != 512 {
+		t.Errorf("stats: reads=%d bytes=%d", d.Reads(), d.BytesRead())
+	}
+}
+
+func TestArmSerializes(t *testing.T) {
+	k := sim.New()
+	d := New(k, "d0", Config{Seek: 10 * time.Millisecond, BytesPerSecond: 1 << 20})
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		k.Go("r", func(p *sim.Proc) {
+			d.Read(p, 0)
+			finish = append(finish, p.Now())
+		})
+	}
+	k.Run()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestWriteAsyncDoesNotBlock(t *testing.T) {
+	k := sim.New()
+	d := New(k, "d0", Config{Seek: 50 * time.Millisecond, BytesPerSecond: 1 << 20})
+	var callerDone time.Duration
+	k.Go("caller", func(p *sim.Proc) {
+		d.WriteAsync(k, 512)
+		callerDone = p.Now()
+	})
+	end := k.Run()
+	if callerDone != 0 {
+		t.Errorf("caller blocked until %v", callerDone)
+	}
+	if end < 50*time.Millisecond {
+		t.Errorf("write-back never happened (end %v)", end)
+	}
+	if d.Writes() != 1 {
+		t.Errorf("Writes = %d", d.Writes())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	k := sim.New()
+	d := New(k, "d0", Config{})
+	if d.cfg.Seek == 0 || d.cfg.BytesPerSecond == 0 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	k := sim.New()
+	d := New(k, "d0", Config{Seek: 20 * time.Millisecond, BytesPerSecond: 1 << 20})
+	k.Go("w", func(p *sim.Proc) {
+		d.Write(p, 0)
+		d.Write(p, 0)
+	})
+	k.Run()
+	if d.BusyTime() != 40*time.Millisecond {
+		t.Errorf("BusyTime = %v, want 40ms", d.BusyTime())
+	}
+}
+
+func TestReadPreemptsWriteBacklog(t *testing.T) {
+	// Queue many background writes, then issue a demand read: it must
+	// complete after at most one in-flight write, not the whole backlog.
+	k := sim.New()
+	d := New(k, "d0", Config{Seek: 30 * time.Millisecond, BytesPerSecond: 1 << 20})
+	for i := 0; i < 50; i++ {
+		d.WriteAsync(k, 512)
+	}
+	var readDone time.Duration
+	k.Go("reader", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		d.Read(p, 512)
+		readDone = p.Now()
+	})
+	k.Run()
+	if readDone > 100*time.Millisecond {
+		t.Errorf("demand read finished at %v behind the write backlog", readDone)
+	}
+	if d.Writes() != 50 {
+		t.Errorf("writes = %d", d.Writes())
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"accentmig/internal/core"
+)
+
+// BreakevenRow is one point of the touched-fraction sweep.
+type BreakevenRow struct {
+	TouchedPct int
+	IOU        float64 // end-to-end seconds
+	Copy       float64
+	SpeedupPct float64 // positive: IOU faster
+}
+
+// BreakevenSweep varies the fraction of RealMem a synthetic process
+// touches remotely and measures where copy-on-reference stops paying
+// off end-to-end. §4.3.4 puts the breakeven "around one-quarter of the
+// process RealMem"; the sweep makes that crossover measurable.
+func BreakevenSweep(cfg Config, pcts []int) ([]BreakevenRow, error) {
+	const pages = 512
+	var rows []BreakevenRow
+	for _, pct := range pcts {
+		touched := pages * pct / 100
+		iou, err := syntheticTrial(cfg, pages, touched, core.PureIOU, 0)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := syntheticTrial(cfg, pages, touched, core.PureCopy, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BreakevenRow{
+			TouchedPct: pct,
+			IOU:        iou.EndToEnd.Seconds(),
+			Copy:       cp.EndToEnd.Seconds(),
+			SpeedupPct: 100 * (cp.EndToEnd.Seconds() - iou.EndToEnd.Seconds()) / cp.EndToEnd.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// Breakeven interpolates the touched fraction where the IOU speedup
+// crosses zero. It returns -1 if the sweep never crosses.
+func Breakeven(rows []BreakevenRow) float64 {
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a.SpeedupPct >= 0 && b.SpeedupPct < 0 {
+			// Linear interpolation between the two sweep points.
+			frac := a.SpeedupPct / (a.SpeedupPct - b.SpeedupPct)
+			return float64(a.TouchedPct) + frac*float64(b.TouchedPct-a.TouchedPct)
+		}
+	}
+	return -1
+}
+
+// FormatBreakeven renders the sweep.
+func FormatBreakeven(rows []BreakevenRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Breakeven sweep: end-to-end IOU vs copy by %% of RealMem touched\n")
+	fmt.Fprintf(&b, "%8s %10s %10s %10s\n", "touched", "IOU", "Copy", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%7d%% %9.2fs %9.2fs %+9.1f%%\n", r.TouchedPct, r.IOU, r.Copy, r.SpeedupPct)
+	}
+	if be := Breakeven(rows); be > 0 {
+		fmt.Fprintf(&b, "crossover ≈ %.0f%% of RealMem (paper: ≈25%%)\n", be)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accentmig/internal/core"
+	"accentmig/internal/metrics"
+	"accentmig/internal/workload"
+)
+
+// FigureCell is one bar of the Figure 4-1/4-2/4-3/4-4 charts.
+type FigureCell struct {
+	Kind     workload.Kind
+	Strategy core.Strategy
+	Prefetch int
+	Value    float64
+}
+
+// gridCells enumerates the paper's chart order for one workload:
+// Copy, then IOU PF0..15, then RS PF0..15.
+func gridCells(g *Grid, k workload.Kind, value func(*TrialResult) float64) []FigureCell {
+	var cells []FigureCell
+	add := func(s core.Strategy, pf int) {
+		tr := g.Cell(k, s, pf)
+		if tr == nil {
+			return
+		}
+		cells = append(cells, FigureCell{Kind: k, Strategy: s, Prefetch: pf, Value: value(tr)})
+	}
+	add(core.PureCopy, 0)
+	for _, pf := range core.PrefetchValues() {
+		add(core.PureIOU, pf)
+	}
+	for _, pf := range core.PrefetchValues() {
+		add(core.ResidentSet, pf)
+	}
+	return cells
+}
+
+// Figure41 extracts remote execution times (seconds) from the grid.
+func Figure41(g *Grid, kinds []workload.Kind) map[workload.Kind][]FigureCell {
+	out := make(map[workload.Kind][]FigureCell)
+	for _, k := range kinds {
+		out[k] = gridCells(g, k, func(tr *TrialResult) float64 { return tr.RemoteExec.Seconds() })
+	}
+	return out
+}
+
+// Figure42 computes end-to-end percent speedup over pure-copy: elapsed
+// time for address-space transfer plus remote execution, compared per
+// workload. Positive = faster than pure-copy.
+func Figure42(g *Grid, kinds []workload.Kind) map[workload.Kind][]FigureCell {
+	out := make(map[workload.Kind][]FigureCell)
+	for _, k := range kinds {
+		base := g.Cell(k, core.PureCopy, 0)
+		if base == nil {
+			continue
+		}
+		baseline := base.EndToEnd.Seconds()
+		cells := gridCells(g, k, func(tr *TrialResult) float64 {
+			return 100 * (baseline - tr.EndToEnd.Seconds()) / baseline
+		})
+		// Drop the pure-copy cell (always 0 against itself).
+		out[k] = cells[1:]
+	}
+	return out
+}
+
+// Figure43 extracts total bytes exchanged between the machines.
+func Figure43(g *Grid, kinds []workload.Kind) map[workload.Kind][]FigureCell {
+	out := make(map[workload.Kind][]FigureCell)
+	for _, k := range kinds {
+		out[k] = gridCells(g, k, func(tr *TrialResult) float64 { return float64(tr.BytesTotal) })
+	}
+	return out
+}
+
+// Figure44 extracts message-handling time in seconds.
+func Figure44(g *Grid, kinds []workload.Kind) map[workload.Kind][]FigureCell {
+	out := make(map[workload.Kind][]FigureCell)
+	for _, k := range kinds {
+		out[k] = gridCells(g, k, func(tr *TrialResult) float64 { return tr.MsgTime.Seconds() })
+	}
+	return out
+}
+
+// FormatFigure renders one figure's cells as labelled rows.
+func FormatFigure(title, unit string, cells map[workload.Kind][]FigureCell, kinds []workload.Kind) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", title, unit)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%-10s", k)
+		for _, c := range cells[k] {
+			label := c.Strategy.String()
+			if c.Strategy != core.PureCopy {
+				label = fmt.Sprintf("%s/PF%d", c.Strategy, c.Prefetch)
+			}
+			fmt.Fprintf(&b, "  %s=%.2f", label, c.Value)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// Figure45Panel is one panel of Figure 4-5: the byte-rate time series
+// for Lisp-Del under one strategy.
+type Figure45Panel struct {
+	Strategy core.Strategy
+	Series   []metrics.RatePoint
+	// ExecStart is when remote execution began (insertion complete).
+	ExecStart time.Duration
+	Total     time.Duration // migration start to last remote instruction
+}
+
+// Figure45 runs the three Lisp-Del trials (no prefetch) and returns
+// their transfer-rate series, white (fault support) vs black (other).
+func Figure45(cfg Config) ([]Figure45Panel, error) {
+	var panels []Figure45Panel
+	for _, strat := range core.Strategies() {
+		tr, err := RunTrial(cfg, workload.LispDel, strat, 0)
+		if err != nil {
+			return nil, err
+		}
+		panels = append(panels, Figure45Panel{
+			Strategy:  strat,
+			Series:    tr.Series,
+			ExecStart: tr.Report.InsertDoneAt,
+			Total:     tr.Report.InsertDoneAt + tr.RemoteExec,
+		})
+	}
+	return panels, nil
+}
+
+// FormatFigure45 renders the panels as sparse rate tables.
+func FormatFigure45(panels []Figure45Panel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4-5: Byte Transfer Rates for Lisp-Del (bytes/sec per 1s bucket)\n")
+	for _, p := range panels {
+		fmt.Fprintf(&b, "-- %s (ends %.1fs)\n", p.Strategy, p.Total.Seconds())
+		for _, pt := range p.Series {
+			if pt.Bytes == 0 {
+				continue
+			}
+			bar := strings.Repeat("#", int(pt.Bytes/1024))
+			fault := strings.Repeat(".", int(pt.FaultBytes/1024))
+			fmt.Fprintf(&b, "  t=%5.0fs %8d B (%7d fault) %s%s\n",
+				pt.T.Seconds(), pt.Bytes, pt.FaultBytes, bar, fault)
+		}
+	}
+	return b.String()
+}
+
+// FormatFigureCSV renders figure cells as CSV (workload, strategy,
+// prefetch, value) for external plotting.
+func FormatFigureCSV(cells map[workload.Kind][]FigureCell, kinds []workload.Kind) string {
+	var b strings.Builder
+	b.WriteString("workload,strategy,prefetch,value\n")
+	for _, k := range kinds {
+		for _, c := range cells[k] {
+			fmt.Fprintf(&b, "%s,%s,%d,%g\n", c.Kind, c.Strategy, c.Prefetch, c.Value)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+
+	"accentmig/internal/workload"
+)
+
+func TestProbeGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	cfg := Config{}
+	kinds := workload.Kinds()
+	g, err := RunGrid(cfg, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatFigure("Figure 4-1: Remote Execution Times", "s", Figure41(g, kinds), kinds))
+	t.Log("\n" + FormatFigure("Figure 4-2: Overall Migration Speedup vs pure-copy", "%", Figure42(g, kinds), kinds))
+	t.Log("\n" + FormatFigure("Figure 4-3: Bytes Transferred", "B", Figure43(g, kinds), kinds))
+	t.Log("\n" + FormatFigure("Figure 4-4: Message Handling Costs", "s", Figure44(g, kinds), kinds))
+	s, err := Summarize(cfg, g, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatSummary(s))
+}

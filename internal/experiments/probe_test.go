@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"accentmig/internal/workload"
+)
+
+// TestProbePrint prints the main tables for calibration inspection.
+// Run with -v to see the output.
+func TestProbePrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	cfg := Config{}
+	r41, err := Table41(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatTable41(r41))
+	r44, err := Table44(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatTable44(r44))
+	r45, err := Table45(cfg, workload.Kinds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatTable45(r45))
+	r43, err := Table43(cfg, workload.Kinds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatTable43(r43))
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accentmig/internal/core"
+	"accentmig/internal/sim"
+	"accentmig/internal/workload"
+)
+
+// Row41 is one Table 4-1 row: address-space composition in bytes.
+type Row41 struct {
+	Kind     workload.Kind
+	Real     uint64
+	RealZ    uint64
+	Total    uint64
+	PctRealZ float64
+}
+
+// Table41 measures address-space composition at migration time by
+// building each representative and scanning its space.
+func Table41(cfg Config) ([]Row41, error) {
+	var rows []Row41
+	for _, k := range workload.Kinds() {
+		tb := NewTestbed(cfg)
+		b, err := workload.Build(tb.Src, k)
+		if err != nil {
+			return nil, err
+		}
+		u := b.Proc.AS.Usage()
+		rows = append(rows, Row41{
+			Kind:     k,
+			Real:     u.Real,
+			RealZ:    u.RealZero,
+			Total:    u.Total,
+			PctRealZ: u.PctRealZero(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable41 renders the rows as the paper prints them.
+func FormatTable41(rows []Row41) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4-1: Representative Address Space Sizes in Bytes\n")
+	fmt.Fprintf(&b, "%-10s %13s %15s %15s %9s\n", "", "Real", "RealZ", "Total", "% RealZ")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %13d %15d %15d %9.1f\n", r.Kind, r.Real, r.RealZ, r.Total, r.PctRealZ)
+	}
+	return b.String()
+}
+
+// Row42 is one Table 4-2 row: resident sets.
+type Row42 struct {
+	Kind     workload.Kind
+	RSSize   uint64
+	PctReal  float64
+	PctTotal float64
+}
+
+// Table42 measures resident sets at migration time.
+func Table42(cfg Config) ([]Row42, error) {
+	var rows []Row42
+	for _, k := range workload.Kinds() {
+		tb := NewTestbed(cfg)
+		b, err := workload.Build(tb.Src, k)
+		if err != nil {
+			return nil, err
+		}
+		u := b.Proc.AS.Usage()
+		rows = append(rows, Row42{
+			Kind:     k,
+			RSSize:   u.Resident,
+			PctReal:  100 * float64(u.Resident) / float64(u.Real),
+			PctTotal: 100 * float64(u.Resident) / float64(u.Total),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable42 renders Table 4-2.
+func FormatTable42(rows []Row42) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4-2: Representative Resident Sets\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s\n", "", "RS Size", "% of Real", "% of Total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10d %10.1f %10.3f\n", r.Kind, r.RSSize, r.PctReal, r.PctTotal)
+	}
+	return b.String()
+}
+
+// Row43 is one Table 4-3 row: percent of address space accessed under
+// the lazy strategies (pure-copy is 100% of Real by definition).
+type Row43 struct {
+	Kind     workload.Kind
+	IOUReal  float64 // % of RealMem shipped under pure-IOU
+	IOUTotal float64
+	RSReal   float64 // % of RealMem shipped under RS
+	RSTotal  float64
+}
+
+// Table43 runs IOU and RS trials (no prefetch) and measures what
+// fraction of each space actually moved.
+func Table43(cfg Config, kinds []workload.Kind) ([]Row43, error) {
+	var rows []Row43
+	for _, k := range kinds {
+		iou, err := RunTrial(cfg, k, core.PureIOU, 0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := RunTrial(cfg, k, core.ResidentSet, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row43{
+			Kind:     k,
+			IOUReal:  iou.TransferredRealPct(),
+			IOUTotal: iou.TransferredTotalPct(),
+			RSReal:   rs.TransferredRealPct(),
+			RSTotal:  rs.TransferredTotalPct(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable43 renders Table 4-3.
+func FormatTable43(rows []Row43) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4-3: Percent of Address Space Accessed\n")
+	fmt.Fprintf(&b, "%-10s %18s %18s\n", "", "IOU", "RS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8.1f [%7.3f] %8.1f [%7.3f]\n",
+			r.Kind, r.IOUReal, r.IOUTotal, r.RSReal, r.RSTotal)
+	}
+	return b.String()
+}
+
+// Row44 is one Table 4-4 row: excision timing breakdown, plus the
+// §4.3.1 insertion time.
+type Row44 struct {
+	Kind    workload.Kind
+	AMap    time.Duration
+	RIMAS   time.Duration
+	Overall time.Duration
+	Insert  time.Duration
+}
+
+// Table44 excises each representative (the breakdown is strategy-
+// independent; pure-copy is used so insertion covers arrived data, as
+// in the paper's testbed).
+func Table44(cfg Config) ([]Row44, error) {
+	var rows []Row44
+	for _, k := range workload.Kinds() {
+		tb := NewTestbed(cfg)
+		b, err := workload.Build(tb.Src, k)
+		if err != nil {
+			return nil, err
+		}
+		tb.Src.Start(b.Proc)
+		var rep *core.Report
+		var migErr error
+		tb.K.Go("driver", func(p *sim.Proc) {
+			rep, migErr = tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
+				Strategy:         core.PureCopy,
+				WaitMigratePoint: true,
+				HoldAtDest:       true,
+			})
+		})
+		tb.K.Run()
+		if migErr != nil {
+			return nil, migErr
+		}
+		rows = append(rows, Row44{
+			Kind:    k,
+			AMap:    rep.Excise.AMap,
+			RIMAS:   rep.Excise.RIMAS,
+			Overall: rep.Excise.Overall,
+			Insert:  rep.Insert.Overall,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable44 renders Table 4-4 (with the insertion column from
+// §4.3.1 appended).
+func FormatTable44(rows []Row44) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4-4: Process Excision Times in Seconds (+ §4.3.1 insertion)\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s\n", "", "AMap", "RIMAS", "Overall", "Insert")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.2f %8.2f\n",
+			r.Kind, r.AMap.Seconds(), r.RIMAS.Seconds(), r.Overall.Seconds(), r.Insert.Seconds())
+	}
+	return b.String()
+}
+
+// Row45 is one Table 4-5 row: RIMAS transfer times per strategy, plus
+// the ≈1 s Core message time for reference.
+type Row45 struct {
+	Kind workload.Kind
+	IOU  time.Duration
+	RS   time.Duration
+	Copy time.Duration
+	Core time.Duration
+}
+
+// Table45 measures address-space transfer times under all three
+// strategies, with the destination held so execution doesn't overlap.
+func Table45(cfg Config, kinds []workload.Kind) ([]Row45, error) {
+	var rows []Row45
+	for _, k := range kinds {
+		row := Row45{Kind: k}
+		for _, strat := range core.Strategies() {
+			tb := NewTestbed(cfg)
+			b, err := workload.Build(tb.Src, k)
+			if err != nil {
+				return nil, err
+			}
+			tb.Src.Start(b.Proc)
+			var rep *core.Report
+			var migErr error
+			tb.K.Go("driver", func(p *sim.Proc) {
+				rep, migErr = tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
+					Strategy:         strat,
+					WaitMigratePoint: true,
+					HoldAtDest:       true,
+				})
+			})
+			tb.K.Run()
+			if migErr != nil {
+				return nil, migErr
+			}
+			switch strat {
+			case core.PureIOU:
+				row.IOU = rep.RIMASTransfer
+			case core.ResidentSet:
+				row.RS = rep.RIMASTransfer
+			case core.PureCopy:
+				row.Copy = rep.RIMASTransfer
+			}
+			row.Core = rep.CoreTransfer
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable45 renders Table 4-5.
+func FormatTable45(rows []Row45) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4-5: Address Space Transfer Times in Seconds (+ Core msg)\n")
+	fmt.Fprintf(&b, "%-10s %9s %8s %8s %8s\n", "", "Pure-IOU", "RS", "Copy", "Core")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %9.2f %8.1f %8.1f %8.2f\n",
+			r.Kind, r.IOU.Seconds(), r.RS.Seconds(), r.Copy.Seconds(), r.Core.Seconds())
+	}
+	return b.String()
+}

@@ -1,0 +1,218 @@
+// Package experiments reproduces the paper's evaluation section: one
+// harness per table and figure, each running migration trials of the
+// seven representative processes on a fresh two-machine testbed and
+// reporting the same rows or series the paper does.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"accentmig/internal/core"
+	"accentmig/internal/machine"
+	"accentmig/internal/metrics"
+	"accentmig/internal/netlink"
+	"accentmig/internal/pager"
+	"accentmig/internal/sim"
+	"accentmig/internal/vm"
+	"accentmig/internal/workload"
+)
+
+// Config tunes the testbed for ablations; the zero value reproduces the
+// paper's setup.
+type Config struct {
+	Machine machine.Config
+	Link    netlink.Config
+	Tuning  *core.Tuning // nil selects core.DefaultTuning
+}
+
+func (c Config) tuning() core.Tuning {
+	if c.Tuning != nil {
+		return *c.Tuning
+	}
+	return core.DefaultTuning()
+}
+
+// Testbed is the two-machine SPICE pair one trial runs on.
+type Testbed struct {
+	K        *sim.Kernel
+	Src, Dst *machine.Machine
+	SrcMgr   *core.Manager
+	DstMgr   *core.Manager
+	Link     *netlink.Link
+	Rec      *metrics.Recorder
+}
+
+// NewTestbed assembles a fresh pair with a shared recorder.
+func NewTestbed(cfg Config) *Testbed {
+	k := sim.New()
+	src := machine.New(k, "src", cfg.Machine)
+	dst := machine.New(k, "dst", cfg.Machine)
+	link := machine.Connect(src, dst, cfg.Link)
+	rec := metrics.NewRecorder(time.Second)
+	src.SetRecorder(rec)
+	dst.SetRecorder(rec)
+	link.SetRecorder(rec)
+	srcMgr := core.NewManager(src, cfg.tuning())
+	dstMgr := core.NewManager(dst, cfg.tuning())
+	src.Net.AddRoute(dstMgr.Port.ID, "dst")
+	dst.Net.AddRoute(srcMgr.Port.ID, "src")
+	return &Testbed{K: k, Src: src, Dst: dst, SrcMgr: srcMgr, DstMgr: dstMgr, Link: link, Rec: rec}
+}
+
+// TrialResult is everything measured from one migration trial.
+type TrialResult struct {
+	Kind     workload.Kind
+	Strategy core.Strategy
+	Prefetch int
+
+	Report *core.Report
+
+	// RemoteExec is insertion-complete to program-finish (Figure 4-1).
+	RemoteExec time.Duration
+	// EndToEnd is RIMAS transfer + remote execution (Figure 4-2 basis).
+	EndToEnd time.Duration
+
+	// Wire traffic (Figure 4-3, 4-5).
+	BytesTotal uint64
+	BytesFault uint64
+	Series     []metrics.RatePoint
+	PeakRate   uint64
+
+	// Message handling (Figure 4-4).
+	Messages uint64
+	MsgTime  time.Duration
+
+	// Transferred data for Table 4-3: physically shipped pages plus
+	// fault-delivered pages.
+	DataPages  uint64
+	FaultPages uint64
+
+	DestPager pager.Stats
+	DestUsage vm.Usage
+
+	// Observed mean fault latencies during the trial (zero if none of
+	// that kind occurred).
+	RemoteFaultMean time.Duration
+	DiskFaultMean   time.Duration
+
+	// ResidualPages is what the source still owes after completion.
+	ResidualPages int
+}
+
+// TransferredRealPct reports the fraction of the RealMem portion that
+// physically moved, as Table 4-3's first number.
+func (tr *TrialResult) TransferredRealPct() float64 {
+	real := float64(workload.PaperNumbers(tr.Kind).RealBytes / 512)
+	return 100 * float64(tr.DataPages+tr.FaultPages) / real
+}
+
+// TransferredTotalPct is the bracketed Table 4-3 number: the fraction
+// of the whole allocated space.
+func (tr *TrialResult) TransferredTotalPct() float64 {
+	total := float64(workload.PaperNumbers(tr.Kind).TotalBytes / 512)
+	return 100 * float64(tr.DataPages+tr.FaultPages) / total
+}
+
+// RunTrial migrates representative k under the given strategy and
+// prefetch on a fresh testbed and runs it to completion.
+func RunTrial(cfg Config, k workload.Kind, strat core.Strategy, prefetch int) (*TrialResult, error) {
+	tb := NewTestbed(cfg)
+	built, err := workload.Build(tb.Src, k)
+	if err != nil {
+		return nil, err
+	}
+	tb.Src.Start(built.Proc)
+
+	tr := &TrialResult{Kind: k, Strategy: strat, Prefetch: prefetch}
+	var migErr error
+	var doneAt time.Duration
+	tb.K.Go("trial-driver", func(p *sim.Proc) {
+		rep, err := tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
+			Strategy:         strat,
+			Prefetch:         prefetch,
+			WaitMigratePoint: true,
+		})
+		if err != nil {
+			migErr = err
+			return
+		}
+		tr.Report = rep
+		npr, ok := tb.Dst.Process(k.String())
+		if !ok {
+			migErr = fmt.Errorf("experiments: %v not on destination after migration", k)
+			return
+		}
+		if err := npr.WaitDone(p); err != nil {
+			migErr = fmt.Errorf("experiments: %v remote execution: %w", k, err)
+			return
+		}
+		doneAt = p.Now()
+	})
+	tb.K.Run()
+	if migErr != nil {
+		return nil, migErr
+	}
+	if tr.Report == nil {
+		return nil, fmt.Errorf("experiments: %v trial never completed", k)
+	}
+
+	tr.RemoteExec = doneAt - tr.Report.InsertDoneAt
+	tr.EndToEnd = tr.Report.RIMASTransfer + tr.RemoteExec
+	tr.BytesTotal = tb.Rec.BytesTotal()
+	tr.BytesFault = tb.Rec.BytesFault()
+	tr.Series = tb.Rec.Series()
+	tr.PeakRate = tb.Rec.PeakRate()
+	tr.Messages = tb.Rec.Messages()
+	tr.MsgTime = tb.Rec.MessageTime()
+	tr.DataPages = tb.Rec.Counter("pages.shipped.data")
+	tr.FaultPages = tb.Rec.Counter("pages.shipped.fault")
+	tr.DestPager = tb.Dst.Pager.Stats()
+	tr.RemoteFaultMean = tb.Rec.Dist("latency.fault.imag").Mean()
+	tr.DiskFaultMean = tb.Rec.Dist("latency.fault.disk").Mean()
+	if npr, ok := tb.Dst.Process(k.String()); ok {
+		tr.DestUsage = npr.AS.Usage()
+	}
+	tr.ResidualPages = tb.Src.Net.Store().TotalRemaining()
+	return tr, nil
+}
+
+// GridKey addresses one cell of the evaluation grid.
+type GridKey struct {
+	Kind     workload.Kind
+	Strategy core.Strategy
+	Prefetch int
+}
+
+// Grid holds the full evaluation sweep the figures share: pure-copy
+// once per workload, IOU and RS at each prefetch value.
+type Grid struct {
+	Cells map[GridKey]*TrialResult
+}
+
+// Cell fetches one trial result.
+func (g *Grid) Cell(k workload.Kind, s core.Strategy, pf int) *TrialResult {
+	return g.Cells[GridKey{k, s, pf}]
+}
+
+// RunGrid sweeps the full paper grid for the given workloads.
+func RunGrid(cfg Config, kinds []workload.Kind) (*Grid, error) {
+	g := &Grid{Cells: make(map[GridKey]*TrialResult)}
+	for _, k := range kinds {
+		tr, err := RunTrial(cfg, k, core.PureCopy, 0)
+		if err != nil {
+			return nil, err
+		}
+		g.Cells[GridKey{k, core.PureCopy, 0}] = tr
+		for _, strat := range []core.Strategy{core.PureIOU, core.ResidentSet} {
+			for _, pf := range core.PrefetchValues() {
+				tr, err := RunTrial(cfg, k, strat, pf)
+				if err != nil {
+					return nil, err
+				}
+				g.Cells[GridKey{k, strat, pf}] = tr
+			}
+		}
+	}
+	return g, nil
+}

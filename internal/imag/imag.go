@@ -1,0 +1,223 @@
+// Package imag defines the copy-on-reference wire protocol of §2.2 —
+// Imaginary Read Request / Imaginary Read Reply / Imaginary Segment
+// Death — and the page store a backing process uses to service it. The
+// store is shared by the NetMsgServer's IOU cache and by user-level
+// backers (any application may lazy-ship data this way).
+package imag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IPC operation codes for the copy-on-reference protocol.
+const (
+	// OpReadRequest asks the backing port for one page (plus optional
+	// prefetch). Body: *ReadRequest.
+	OpReadRequest = 0x1001
+	// OpReadReply delivers the requested page data. Body: *ReadReply.
+	OpReadReply = 0x1002
+	// OpSegmentDeath tells the backer all references to the imaginary
+	// object have died. Body: *SegmentDeath.
+	OpSegmentDeath = 0x1003
+	// OpFlush asks the backer to push every still-owed page eagerly
+	// (the residual-dependency "dissolve IOUs" extension). Body:
+	// *FlushRequest.
+	OpFlush = 0x1004
+	// OpFlushReply carries the flushed pages. Body: *ReadReply.
+	OpFlushReply = 0x1005
+)
+
+// ReadRequest is the body of an imaginary fault message.
+type ReadRequest struct {
+	SegID    uint64
+	PageIdx  uint64
+	Prefetch int // additional nearby pages the faulter will accept
+}
+
+// ReadRequestBytes is the encoded size of a ReadRequest body.
+const ReadRequestBytes = 64
+
+// PageData is one delivered page.
+type PageData struct {
+	Index uint64
+	Data  []byte
+}
+
+// ReadReply is the body of an imaginary fault reply. Pages[0] is the
+// demanded page; any further entries are prefetched neighbours.
+type ReadReply struct {
+	SegID uint64
+	Pages []PageData
+}
+
+// Bytes reports the encoded size of the reply body.
+func (r *ReadReply) Bytes() int {
+	n := 32
+	for _, pg := range r.Pages {
+		n += 8 + len(pg.Data)
+	}
+	return n
+}
+
+// SegmentDeath is the body of a death notification.
+type SegmentDeath struct{ SegID uint64 }
+
+// SegmentDeathBytes is the encoded size of a SegmentDeath body.
+const SegmentDeathBytes = 16
+
+// FlushRequest asks for every still-owed page of a segment.
+type FlushRequest struct{ SegID uint64 }
+
+// FlushRequestBytes is the encoded size of a FlushRequest body.
+const FlushRequestBytes = 16
+
+// segIDCounter hands out simulation-wide unique imaginary segment IDs,
+// offset far from vm's segment IDs so the two namespaces never collide.
+var segIDCounter uint64 = 1 << 32
+
+// NextSegID returns a fresh simulation-wide unique segment identity
+// for an imaginary object created by a backer.
+func NextSegID() uint64 {
+	segIDCounter++
+	return segIDCounter
+}
+
+// Store holds the page images a backer owes to remote imaginary
+// segments, tracking what has already been delivered so residual
+// dependencies can be measured and flushed.
+type Store struct {
+	segs map[uint64]*StoreSegment
+}
+
+// StoreSegment is the owed pages of one imaginary segment.
+type StoreSegment struct {
+	ID       uint64
+	Size     uint64
+	PageSize int
+
+	pages     map[uint64][]byte
+	delivered map[uint64]bool
+	dead      bool
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{segs: make(map[uint64]*StoreSegment)}
+}
+
+// AddSegment registers a segment the store will back.
+func (s *Store) AddSegment(id, size uint64, pageSize int) *StoreSegment {
+	seg := &StoreSegment{
+		ID:        id,
+		Size:      size,
+		PageSize:  pageSize,
+		pages:     make(map[uint64][]byte),
+		delivered: make(map[uint64]bool),
+	}
+	s.segs[id] = seg
+	return seg
+}
+
+// Segment finds a backed segment.
+func (s *Store) Segment(id uint64) (*StoreSegment, bool) {
+	seg, ok := s.segs[id]
+	return seg, ok
+}
+
+// Drop removes a dead segment and reports how many owed pages were
+// discarded undelivered.
+func (s *Store) Drop(id uint64) int {
+	seg, ok := s.segs[id]
+	if !ok {
+		return 0
+	}
+	delete(s.segs, id)
+	seg.dead = true
+	return seg.Remaining()
+}
+
+// Segments reports the live segment count.
+func (s *Store) Segments() int { return len(s.segs) }
+
+// TotalRemaining sums undelivered pages across all live segments — the
+// whole residual dependency this backer still carries.
+func (s *Store) TotalRemaining() int {
+	n := 0
+	for _, seg := range s.segs {
+		n += seg.Remaining()
+	}
+	return n
+}
+
+// Put stores the image for page idx. The data slice is retained.
+func (g *StoreSegment) Put(idx uint64, data []byte) {
+	g.pages[idx] = data
+}
+
+// Get returns the image for page idx if the store holds it.
+func (g *StoreSegment) Get(idx uint64) ([]byte, bool) {
+	d, ok := g.pages[idx]
+	return d, ok
+}
+
+// Pages reports how many page images the segment holds.
+func (g *StoreSegment) Pages() int { return len(g.pages) }
+
+// Remaining reports pages held but not yet delivered — the residual
+// dependency the source carries for a lazily migrated process.
+func (g *StoreSegment) Remaining() int {
+	n := 0
+	for idx := range g.pages {
+		if !g.delivered[idx] {
+			n++
+		}
+	}
+	return n
+}
+
+// Serve answers a ReadRequest: the demanded page plus up to prefetch
+// nearby undelivered pages scanning forward from it. It returns nil if
+// the demanded page is not held (a protocol error by the requester —
+// the backer only owes pages it cached).
+func (g *StoreSegment) Serve(req *ReadRequest) *ReadReply {
+	data, ok := g.pages[req.PageIdx]
+	if !ok {
+		return nil
+	}
+	rep := &ReadReply{SegID: g.ID, Pages: []PageData{{Index: req.PageIdx, Data: data}}}
+	g.delivered[req.PageIdx] = true
+	for i := uint64(1); i <= uint64(req.Prefetch); i++ {
+		idx := req.PageIdx + i
+		d, ok := g.pages[idx]
+		if !ok || g.delivered[idx] {
+			continue
+		}
+		rep.Pages = append(rep.Pages, PageData{Index: idx, Data: d})
+		g.delivered[idx] = true
+	}
+	return rep
+}
+
+// FlushAll returns every undelivered page in index order and marks them
+// delivered. Used to dissolve the residual dependency eagerly.
+func (g *StoreSegment) FlushAll() *ReadReply {
+	var idxs []uint64
+	for idx := range g.pages {
+		if !g.delivered[idx] {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	rep := &ReadReply{SegID: g.ID}
+	for _, idx := range idxs {
+		rep.Pages = append(rep.Pages, PageData{Index: idx, Data: g.pages[idx]})
+		g.delivered[idx] = true
+	}
+	return rep
+}
+
+// String summarizes the segment.
+func (g *StoreSegment) String() string {
+	return fmt.Sprintf("storeSeg(%d: %d pages, %d owed)", g.ID, len(g.pages), g.Remaining())
+}

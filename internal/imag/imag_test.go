@@ -1,0 +1,148 @@
+package imag
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func seed(t *testing.T) (*Store, *StoreSegment) {
+	t.Helper()
+	st := NewStore()
+	seg := st.AddSegment(1, 10*512, 512)
+	for i := uint64(0); i < 10; i++ {
+		seg.Put(i, []byte{byte(i)})
+	}
+	return st, seg
+}
+
+func TestServeDemandPage(t *testing.T) {
+	_, seg := seed(t)
+	rep := seg.Serve(&ReadRequest{SegID: 1, PageIdx: 3})
+	if rep == nil || len(rep.Pages) != 1 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if rep.Pages[0].Index != 3 || rep.Pages[0].Data[0] != 3 {
+		t.Errorf("page = %+v", rep.Pages[0])
+	}
+	if seg.Remaining() != 9 {
+		t.Errorf("Remaining = %d, want 9", seg.Remaining())
+	}
+}
+
+func TestServeWithPrefetch(t *testing.T) {
+	_, seg := seed(t)
+	rep := seg.Serve(&ReadRequest{SegID: 1, PageIdx: 2, Prefetch: 3})
+	if len(rep.Pages) != 4 {
+		t.Fatalf("pages = %d, want 4", len(rep.Pages))
+	}
+	for i, pg := range rep.Pages {
+		if pg.Index != uint64(2+i) {
+			t.Errorf("page %d has index %d", i, pg.Index)
+		}
+	}
+}
+
+func TestServePrefetchSkipsDelivered(t *testing.T) {
+	_, seg := seed(t)
+	seg.Serve(&ReadRequest{PageIdx: 3}) // deliver 3
+	rep := seg.Serve(&ReadRequest{PageIdx: 2, Prefetch: 3})
+	// Wants 3,4,5 but 3 already went: expect demand 2 + prefetch 4,5.
+	if len(rep.Pages) != 3 {
+		t.Fatalf("pages = %+v", rep.Pages)
+	}
+	if rep.Pages[1].Index != 4 || rep.Pages[2].Index != 5 {
+		t.Errorf("prefetch indices = %d,%d", rep.Pages[1].Index, rep.Pages[2].Index)
+	}
+}
+
+func TestServePrefetchStopsAtEnd(t *testing.T) {
+	_, seg := seed(t)
+	rep := seg.Serve(&ReadRequest{PageIdx: 8, Prefetch: 15})
+	if len(rep.Pages) != 2 {
+		t.Errorf("pages = %d, want 2 (8 and 9)", len(rep.Pages))
+	}
+}
+
+func TestServeMissingPage(t *testing.T) {
+	st := NewStore()
+	seg := st.AddSegment(1, 10*512, 512)
+	seg.Put(0, []byte{0})
+	if rep := seg.Serve(&ReadRequest{PageIdx: 5}); rep != nil {
+		t.Errorf("served a page never cached: %+v", rep)
+	}
+}
+
+func TestFlushAllOrdersAndDrains(t *testing.T) {
+	_, seg := seed(t)
+	seg.Serve(&ReadRequest{PageIdx: 4})
+	rep := seg.FlushAll()
+	if len(rep.Pages) != 9 {
+		t.Fatalf("flushed %d, want 9", len(rep.Pages))
+	}
+	for i := 1; i < len(rep.Pages); i++ {
+		if rep.Pages[i].Index <= rep.Pages[i-1].Index {
+			t.Fatal("flush not in index order")
+		}
+	}
+	if seg.Remaining() != 0 {
+		t.Errorf("Remaining = %d after flush", seg.Remaining())
+	}
+	if again := seg.FlushAll(); len(again.Pages) != 0 {
+		t.Errorf("second flush returned %d pages", len(again.Pages))
+	}
+}
+
+func TestDrop(t *testing.T) {
+	st, seg := seed(t)
+	seg.Serve(&ReadRequest{PageIdx: 0})
+	if n := st.Drop(1); n != 9 {
+		t.Errorf("Drop returned %d undelivered, want 9", n)
+	}
+	if _, ok := st.Segment(1); ok {
+		t.Error("segment still present after Drop")
+	}
+	if st.Drop(1) != 0 {
+		t.Error("double Drop returned pages")
+	}
+}
+
+func TestReplyBytes(t *testing.T) {
+	rep := &ReadReply{Pages: []PageData{{Data: make([]byte, 512)}, {Data: make([]byte, 512)}}}
+	if got := rep.Bytes(); got != 32+2*(8+512) {
+		t.Errorf("Bytes = %d", got)
+	}
+}
+
+// Property: serving never delivers the same page twice across any
+// request sequence, and Remaining is consistent with deliveries.
+func TestQuickNoDoubleDelivery(t *testing.T) {
+	f := func(reqs []struct {
+		Idx uint8
+		Pf  uint8
+	}) bool {
+		st := NewStore()
+		seg := st.AddSegment(1, 64*512, 512)
+		for i := uint64(0); i < 64; i++ {
+			seg.Put(i, []byte{byte(i)})
+		}
+		seen := map[uint64]int{}
+		for _, rq := range reqs {
+			rep := seg.Serve(&ReadRequest{PageIdx: uint64(rq.Idx % 64), Prefetch: int(rq.Pf % 16)})
+			if rep == nil {
+				continue
+			}
+			for i, pg := range rep.Pages {
+				if i > 0 { // demand page may legitimately repeat
+					seen[pg.Index]++
+					if seen[pg.Index] > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return seg.Remaining() >= 0 && seg.Remaining() <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package ipc models the Accent inter-process communication facility:
+// ports with simulation-wide unique names, messages that can carry both
+// small inline bodies and arbitrarily large memory attachments, and the
+// copy-vs-map cost discipline of §2.1 — small messages are physically
+// copied twice (in and out of the kernel) while large ones are mapped
+// copy-on-write at a fraction of the cost.
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"accentmig/internal/sim"
+	"accentmig/internal/vm"
+)
+
+// PortID names a port uniquely across the whole simulation, so that
+// port identity survives migration and proxying between machines.
+type PortID uint64
+
+var nextPortID PortID
+
+// ErrDeadPort is returned when sending to a deallocated or unknown port.
+var ErrDeadPort = errors.New("ipc: send to dead port")
+
+// Port is a protected kernel message queue. The process holding Receive
+// rights drains it; anyone naming the ID can send.
+type Port struct {
+	ID    PortID
+	Name  string
+	sys   *System
+	queue *sim.Queue[*Message]
+	dead  bool
+}
+
+// String identifies the port for logs.
+func (p *Port) String() string { return fmt.Sprintf("port(%d:%s)", p.ID, p.Name) }
+
+// Pending reports queued, unreceived messages.
+func (p *Port) Pending() int { return p.queue.Len() }
+
+// AttachKind distinguishes the ways a message can convey memory.
+type AttachKind int
+
+const (
+	// AttachData carries physical page images.
+	AttachData AttachKind = iota
+	// AttachIOU carries a promise: an imaginary-segment descriptor whose
+	// pages will be delivered on demand by the backing port (§2.2).
+	AttachIOU
+)
+
+// PageImage is one page of attachment data. Index is the page offset
+// from the attachment's base address.
+type PageImage struct {
+	Index uint64
+	Data  []byte
+}
+
+// MemAttachment is one contiguous range of process memory conveyed by a
+// message, either physically (Data) or by promise (IOU).
+type MemAttachment struct {
+	Kind AttachKind
+	VA   vm.Addr // base virtual address the range occupies
+	Size uint64  // bytes
+
+	// Collapsed marks a RIMAS collapsed-area attachment, which has no
+	// VA of its own — the RIMAS run table maps slices of it. Resident
+	// further marks the resident-set half of a split collapsed area.
+	// Intermediaries preserve both.
+	Collapsed bool
+	Resident  bool
+
+	// AttachData fields.
+	Pages []PageImage
+	Copy  bool // per-attachment NoIOU: intermediaries must not replace this data with an IOU
+
+	// AttachIOU fields.
+	SegID   uint64 // backing segment identity at the backer
+	SegOff  uint64 // offset of VA within that segment
+	SegSize uint64 // full segment size
+	Backing PortID // port owing the data
+}
+
+// DataBytes reports the physical payload carried by the attachment.
+func (a *MemAttachment) DataBytes() int {
+	n := 0
+	for _, pg := range a.Pages {
+		n += len(pg.Data)
+	}
+	return n
+}
+
+// descriptor sizes for wire accounting.
+const (
+	msgHeaderBytes  = 64
+	dataDescBytes   = 24
+	iouDescBytes    = 48
+	pageImageHeader = 8
+)
+
+// Message is a single IPC message.
+type Message struct {
+	Op      int
+	To      PortID
+	ReplyTo PortID
+	Body    any
+	// BodyBytes is the encoded size of Body for costing; callers set it
+	// because Body is an arbitrary Go value.
+	BodyBytes int
+	Mem       []*MemAttachment
+
+	// NoIOUs, when set, tells intermediaries (NetMsgServers) that every
+	// data attachment must be physically transmitted (§2.4).
+	NoIOUs bool
+
+	// FaultSupport marks traffic generated in support of imaginary
+	// fault activity, for the Figure 4-5 traffic split.
+	FaultSupport bool
+}
+
+// WireBytes reports the message's encoded size: header, body, and
+// attachment descriptors plus physical payloads.
+func (m *Message) WireBytes() int {
+	n := msgHeaderBytes + m.BodyBytes
+	for _, a := range m.Mem {
+		switch a.Kind {
+		case AttachData:
+			n += dataDescBytes + len(a.Pages)*pageImageHeader + a.DataBytes()
+		case AttachIOU:
+			n += iouDescBytes
+		}
+	}
+	return n
+}
+
+// Config sets the IPC cost model. Zero values select defaults
+// calibrated for the Perq-era testbed.
+type Config struct {
+	// CopyThreshold: messages at or below this many payload bytes are
+	// physically copied; larger ones are memory-mapped copy-on-write.
+	CopyThreshold int
+	// PerMsgCPU is the fixed kernel cost of queueing or dequeueing one
+	// message.
+	PerMsgCPU time.Duration
+	// CopyPerByte is the cost of physically copying payload.
+	CopyPerByte time.Duration
+	// MapPerPage is the cost of map-in/map-out per page for large
+	// messages transferred by COW mapping.
+	MapPerPage time.Duration
+	// PageSize is used to count pages for MapPerPage.
+	PageSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CopyThreshold == 0 {
+		c.CopyThreshold = 4096
+	}
+	if c.PerMsgCPU == 0 {
+		c.PerMsgCPU = 2 * time.Millisecond
+	}
+	if c.CopyPerByte == 0 {
+		c.CopyPerByte = 1500 * time.Nanosecond // ≈0.7 MB/s Perq memcpy
+	}
+	if c.MapPerPage == 0 {
+		c.MapPerPage = 20 * time.Microsecond
+	}
+	if c.PageSize == 0 {
+		c.PageSize = vm.DefaultPageSize
+	}
+	return c
+}
+
+// Router is the hook a NetMsgServer installs to claim messages whose
+// destination port is not local. It returns true if it accepted the
+// message for forwarding.
+type Router func(m *Message) bool
+
+// System is one machine's IPC facility.
+type System struct {
+	k      *sim.Kernel
+	cpu    *sim.Resource
+	cfg    Config
+	name   string
+	ports  map[PortID]*Port
+	router Router
+
+	sends    uint64
+	receives uint64
+	copies   uint64 // messages moved by physical copy
+	maps     uint64 // messages moved by COW mapping
+}
+
+// NewSystem returns the IPC system for one machine. cpu is the
+// machine's CPU: all IPC handling work contends for it.
+func NewSystem(k *sim.Kernel, name string, cpu *sim.Resource, cfg Config) *System {
+	return &System{
+		k:     k,
+		cpu:   cpu,
+		cfg:   cfg.withDefaults(),
+		name:  name,
+		ports: make(map[PortID]*Port),
+	}
+}
+
+// Config exposes the active cost model.
+func (s *System) Config() Config { return s.cfg }
+
+// AllocPort creates a new port owned by this machine.
+func (s *System) AllocPort(name string) *Port {
+	nextPortID++
+	p := &Port{ID: nextPortID, Name: name, sys: s, queue: sim.NewQueue[*Message](s.k)}
+	s.ports[p.ID] = p
+	return p
+}
+
+// AdoptPort installs an existing port identity on this machine (port
+// rights arriving with a migrated process). The queue starts empty; any
+// in-flight messages are the network layer's problem, as in real life.
+func (s *System) AdoptPort(id PortID, name string) *Port {
+	p := &Port{ID: id, Name: name, sys: s, queue: sim.NewQueue[*Message](s.k)}
+	s.ports[id] = p
+	return p
+}
+
+// RemovePort deallocates the port; future sends fail with ErrDeadPort.
+func (s *System) RemovePort(p *Port) {
+	p.dead = true
+	delete(s.ports, p.ID)
+}
+
+// Drain removes and returns all buffered, undelivered messages — used
+// when a port right migrates so its pending mail travels with it.
+func (p *Port) Drain() []*Message {
+	var out []*Message
+	for {
+		m, ok := p.queue.TryPop()
+		if !ok {
+			return out
+		}
+		out = append(out, m)
+	}
+}
+
+// Enqueue re-queues a message directly (mail re-delivered on the far
+// side of a migration). No cost is charged: the copy-in was paid at the
+// original Send.
+func (p *Port) Enqueue(m *Message) {
+	p.queue.Push(m)
+}
+
+// Lookup finds a local port by ID.
+func (s *System) Lookup(id PortID) (*Port, bool) {
+	p, ok := s.ports[id]
+	return p, ok
+}
+
+// transferCPU is the copy-or-map cost for moving a message across one
+// address-space boundary (§2.1's double-copy done lazily).
+func (s *System) transferCPU(m *Message) (time.Duration, bool) {
+	payload := m.BodyBytes
+	for _, a := range m.Mem {
+		if a.Kind == AttachData {
+			payload += a.DataBytes()
+		}
+	}
+	if payload <= s.cfg.CopyThreshold {
+		return time.Duration(payload) * s.cfg.CopyPerByte, true
+	}
+	pages := (payload + s.cfg.PageSize - 1) / s.cfg.PageSize
+	return time.Duration(pages) * s.cfg.MapPerPage, false
+}
+
+// SetRouter installs the network-forwarding hook consulted when a
+// destination port is not local (the NetMsgServer's role).
+func (s *System) SetRouter(r Router) { s.router = r }
+
+// Send queues m on its destination port, charging the kernel's copy-in
+// cost against the machine CPU. A destination not present on this
+// machine is offered to the router (network transparency); with no
+// router or no route the send fails with ErrDeadPort.
+func (s *System) Send(p *sim.Proc, m *Message) error {
+	xfer, copied := s.transferCPU(m)
+	s.cpu.UseHigh(p, s.cfg.PerMsgCPU+xfer)
+	dst, ok := s.ports[m.To]
+	if !ok || dst.dead {
+		if s.router != nil && s.router(m) {
+			if copied {
+				s.copies++
+			} else {
+				s.maps++
+			}
+			s.sends++
+			return nil
+		}
+		return fmt.Errorf("%w: id %d on %s", ErrDeadPort, m.To, s.name)
+	}
+	if copied {
+		s.copies++
+	} else {
+		s.maps++
+	}
+	s.sends++
+	dst.queue.Push(m)
+	return nil
+}
+
+// Receive blocks p until a message arrives on port, charging the
+// copy-out (or map-in) cost.
+func (s *System) Receive(p *sim.Proc, port *Port) *Message {
+	m := port.queue.Pop(p)
+	xfer, _ := s.transferCPU(m)
+	s.cpu.UseHigh(p, s.cfg.PerMsgCPU+xfer)
+	s.receives++
+	return m
+}
+
+// ReceiveTimeout is Receive with a virtual-time deadline; ok is false
+// on timeout. Used by retry logic under failure injection.
+func (s *System) ReceiveTimeout(p *sim.Proc, port *Port, d time.Duration) (*Message, bool) {
+	m, ok := port.queue.PopTimeout(p, d)
+	if !ok {
+		return nil, false
+	}
+	xfer, _ := s.transferCPU(m)
+	s.cpu.UseHigh(p, s.cfg.PerMsgCPU+xfer)
+	s.receives++
+	return m, true
+}
+
+// Call performs an RPC: allocates a one-shot reply port, sends m with
+// ReplyTo set, and waits for the reply.
+func (s *System) Call(p *sim.Proc, m *Message) (*Message, error) {
+	reply := s.AllocPort("reply")
+	defer s.RemovePort(reply)
+	m.ReplyTo = reply.ID
+	if err := s.Send(p, m); err != nil {
+		return nil, err
+	}
+	return s.Receive(p, reply), nil
+}
+
+// Stats reports send/receive/copy/map counts (copy vs map feeds the
+// copy-threshold ablation).
+func (s *System) Stats() (sends, receives, copies, maps uint64) {
+	return s.sends, s.receives, s.copies, s.maps
+}

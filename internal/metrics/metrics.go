@@ -1,0 +1,249 @@
+// Package metrics accumulates the measurements the paper reports:
+// bytes exchanged between machines (split into imaginary-fault support
+// traffic and everything else, as in Figure 4-5), IPC message counts and
+// message-handling CPU time (Figure 4-4), and named phase timings
+// (packaging, transfer, remote execution).
+//
+// The package is passive — it never touches the simulation kernel — so
+// any layer can record into a shared Recorder without import cycles.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Recorder collects the measurements of one migration trial.
+type Recorder struct {
+	bucket  time.Duration
+	buckets map[int64]*rateBucket
+
+	bytesTotal uint64
+	bytesFault uint64
+
+	messages uint64
+	msgTime  time.Duration
+
+	phases map[string]*Phase
+
+	counters map[string]uint64
+	dists    map[string]*Distribution
+}
+
+// Phase is a named span of virtual time.
+type Phase struct {
+	Name       string
+	Start, End time.Duration
+	open       bool
+}
+
+// Elapsed reports End-Start for a closed phase, or zero.
+func (p *Phase) Elapsed() time.Duration {
+	if p == nil || p.open {
+		return 0
+	}
+	return p.End - p.Start
+}
+
+type rateBucket struct {
+	total uint64
+	fault uint64
+}
+
+// RatePoint is one sample of the byte-rate time series: bytes moved in
+// [T, T+bucket), split as in Figure 4-5.
+type RatePoint struct {
+	T          time.Duration
+	Bytes      uint64 // all traffic in the bucket
+	FaultBytes uint64 // subset carried in support of imaginary faults
+}
+
+// NewRecorder returns a recorder whose byte-rate series uses the given
+// bucket width (e.g. one second).
+func NewRecorder(bucket time.Duration) *Recorder {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &Recorder{
+		bucket:   bucket,
+		buckets:  make(map[int64]*rateBucket),
+		phases:   make(map[string]*Phase),
+		counters: make(map[string]uint64),
+		dists:    make(map[string]*Distribution),
+	}
+}
+
+// AddBytes records n bytes crossing the network at virtual time at.
+// fault marks traffic carried in support of imaginary fault activity.
+func (r *Recorder) AddBytes(at time.Duration, n int, fault bool) {
+	if n <= 0 {
+		return
+	}
+	r.bytesTotal += uint64(n)
+	idx := int64(at / r.bucket)
+	b := r.buckets[idx]
+	if b == nil {
+		b = &rateBucket{}
+		r.buckets[idx] = b
+	}
+	b.total += uint64(n)
+	if fault {
+		r.bytesFault += uint64(n)
+		b.fault += uint64(n)
+	}
+}
+
+// AddMessage records one IPC message whose handling consumed cpu of
+// processing time (summed across both endpoints by the caller).
+func (r *Recorder) AddMessage(cpu time.Duration) {
+	r.messages++
+	r.msgTime += cpu
+}
+
+// AddMessageTime adds message-processing CPU time without bumping the
+// message count, for per-endpoint accounting of a message counted once.
+func (r *Recorder) AddMessageTime(cpu time.Duration) { r.msgTime += cpu }
+
+// Inc bumps a free-form named counter (faults by kind, prefetch hits...).
+func (r *Recorder) Inc(name string, delta uint64) { r.counters[name] += delta }
+
+// Observe records one sample of a named duration distribution (fault
+// latencies, queue waits). Aggregates only — count/sum/min/max — so
+// recording is O(1).
+func (r *Recorder) Observe(name string, v time.Duration) {
+	d := r.dists[name]
+	if d == nil {
+		d = &Distribution{Min: v, Max: v}
+		r.dists[name] = d
+	}
+	d.Count++
+	d.Sum += v
+	if v < d.Min {
+		d.Min = v
+	}
+	if v > d.Max {
+		d.Max = v
+	}
+}
+
+// Distribution summarizes observed samples.
+type Distribution struct {
+	Count uint64
+	Sum   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean reports the average sample, or zero with no samples.
+func (d *Distribution) Mean() time.Duration {
+	if d == nil || d.Count == 0 {
+		return 0
+	}
+	return d.Sum / time.Duration(d.Count)
+}
+
+// Dist returns the named distribution, possibly nil.
+func (r *Recorder) Dist(name string) *Distribution { return r.dists[name] }
+
+// Counter reads a named counter.
+func (r *Recorder) Counter(name string) uint64 { return r.counters[name] }
+
+// Counters returns a copy of all named counters.
+func (r *Recorder) Counters() map[string]uint64 {
+	out := make(map[string]uint64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// BytesTotal reports all bytes recorded.
+func (r *Recorder) BytesTotal() uint64 { return r.bytesTotal }
+
+// BytesFault reports bytes recorded as imaginary-fault support traffic.
+func (r *Recorder) BytesFault() uint64 { return r.bytesFault }
+
+// Messages reports the number of messages recorded.
+func (r *Recorder) Messages() uint64 { return r.messages }
+
+// MessageTime reports total message-handling CPU time.
+func (r *Recorder) MessageTime() time.Duration { return r.msgTime }
+
+// StartPhase opens (or reopens) a named phase at time at.
+func (r *Recorder) StartPhase(name string, at time.Duration) {
+	r.phases[name] = &Phase{Name: name, Start: at, open: true}
+}
+
+// EndPhase closes a named phase at time at. Ending an unopened phase
+// records a zero-length phase at at, which keeps callers simple.
+func (r *Recorder) EndPhase(name string, at time.Duration) {
+	p := r.phases[name]
+	if p == nil {
+		p = &Phase{Name: name, Start: at}
+		r.phases[name] = p
+	}
+	p.End = at
+	p.open = false
+}
+
+// PhaseElapsed reports the elapsed time of a closed named phase.
+func (r *Recorder) PhaseElapsed(name string) time.Duration {
+	return r.phases[name].Elapsed()
+}
+
+// Phases returns all closed phases sorted by start time.
+func (r *Recorder) Phases() []Phase {
+	out := make([]Phase, 0, len(r.phases))
+	for _, p := range r.phases {
+		if !p.open {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Series returns the byte-rate time series with one point per non-empty
+// bucket, in time order. Empty interior buckets are included (with zero
+// bytes) so plots show gaps honestly.
+func (r *Recorder) Series() []RatePoint {
+	if len(r.buckets) == 0 {
+		return nil
+	}
+	idxs := make([]int64, 0, len(r.buckets))
+	for i := range r.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	lo, hi := idxs[0], idxs[len(idxs)-1]
+	out := make([]RatePoint, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		pt := RatePoint{T: time.Duration(i) * r.bucket}
+		if b := r.buckets[i]; b != nil {
+			pt.Bytes = b.total
+			pt.FaultBytes = b.fault
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// PeakRate reports the largest per-bucket byte count, i.e. the peak
+// sustained transmission demand (the §4.4.3 "sustained network
+// transmission speeds reduced up to 66%" metric).
+func (r *Recorder) PeakRate() uint64 {
+	var max uint64
+	for _, b := range r.buckets {
+		if b.total > max {
+			max = b.total
+		}
+	}
+	return max
+}
+
+// String summarizes the recorder for logs.
+func (r *Recorder) String() string {
+	return fmt.Sprintf("bytes=%d (fault %d) msgs=%d msgtime=%v",
+		r.bytesTotal, r.bytesFault, r.messages, r.msgTime)
+}

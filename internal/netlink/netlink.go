@@ -1,0 +1,105 @@
+// Package netlink models the shared Ethernet joining the testbed
+// machines: a half-duplex medium with propagation latency, a raw bit
+// rate, and optional failure injection (frame drops). All migration
+// traffic crosses a Link, which is also where byte accounting for
+// Figures 4-3 and 4-5 happens.
+package netlink
+
+import (
+	"time"
+
+	"accentmig/internal/metrics"
+	"accentmig/internal/sim"
+	"accentmig/internal/xrand"
+)
+
+// Config sets the link's characteristics. Zero values select defaults
+// calibrated to the paper's 3 Mbit testbed Ethernet.
+type Config struct {
+	// Latency is one-way propagation plus interface turnaround.
+	Latency time.Duration
+	// BytesPerSecond is the raw medium rate.
+	BytesPerSecond int
+	// DropProb is the probability a frame is lost (failure injection);
+	// zero for a reliable link.
+	DropProb float64
+	// DropSeed seeds the drop stream.
+	DropSeed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Latency == 0 {
+		c.Latency = 5 * time.Millisecond
+	}
+	if c.BytesPerSecond == 0 {
+		c.BytesPerSecond = 375_000 // 3 Mbit/s
+	}
+	return c
+}
+
+// Link is a point-to-point (shared-medium) network between two
+// machines.
+type Link struct {
+	cfg  Config
+	k    *sim.Kernel
+	wire *sim.Resource
+	rng  *xrand.RNG
+	rec  *metrics.Recorder
+
+	frames    uint64
+	drops     uint64
+	bytesMove uint64
+}
+
+// New returns a link on kernel k.
+func New(k *sim.Kernel, name string, cfg Config) *Link {
+	cfg = cfg.withDefaults()
+	return &Link{
+		cfg:  cfg,
+		k:    k,
+		wire: sim.NewResource(k, name+".wire", 1),
+		rng:  xrand.New(cfg.DropSeed),
+	}
+}
+
+// SetRecorder directs byte accounting to rec (may be nil to disable).
+func (l *Link) SetRecorder(rec *metrics.Recorder) { l.rec = rec }
+
+// Recorder returns the active recorder, possibly nil.
+func (l *Link) Recorder() *metrics.Recorder { return l.rec }
+
+// Transmit occupies the wire for n bytes plus propagation and reports
+// whether the frame survived (false under injected loss). The bytes are
+// charged to the recorder either way — a dropped frame still burned
+// bandwidth. fault marks imaginary-fault support traffic.
+func (l *Link) Transmit(p *sim.Proc, n int, fault bool) bool {
+	l.wire.Acquire(p)
+	p.Sleep(time.Duration(n) * time.Second / time.Duration(l.cfg.BytesPerSecond))
+	l.wire.Release()
+	p.Sleep(l.cfg.Latency)
+	l.frames++
+	l.bytesMove += uint64(n)
+	if l.rec != nil {
+		l.rec.AddBytes(p.Now(), n, fault)
+	}
+	if l.cfg.DropProb > 0 && l.rng.Float64() < l.cfg.DropProb {
+		l.drops++
+		return false
+	}
+	return true
+}
+
+// Frames reports transmitted frame count (including dropped ones).
+func (l *Link) Frames() uint64 { return l.frames }
+
+// Drops reports injected losses.
+func (l *Link) Drops() uint64 { return l.drops }
+
+// Bytes reports total bytes put on the wire.
+func (l *Link) Bytes() uint64 { return l.bytesMove }
+
+// BusyTime reports accumulated wire occupancy.
+func (l *Link) BusyTime() time.Duration { return l.wire.BusyTime() }
+
+// Latency reports the configured one-way latency.
+func (l *Link) Latency() time.Duration { return l.cfg.Latency }

@@ -1,0 +1,423 @@
+// Package netmsg implements the NetMsgServer of §2.4: the user-level
+// server that extends IPC transparently across machine boundaries. It
+// installs itself as the IPC router for its machine, forwards messages
+// to peers with fragmentation costs, learns return routes from the
+// traffic it carries, and — its copy-on-reference trick — may cache the
+// RealMem portions of a passing message and substitute IOUs, becoming
+// the backer for that data.
+package netmsg
+
+import (
+	"fmt"
+	"time"
+
+	"accentmig/internal/imag"
+	"accentmig/internal/ipc"
+	"accentmig/internal/metrics"
+	"accentmig/internal/netlink"
+	"accentmig/internal/sim"
+	"accentmig/internal/wire"
+)
+
+// Config sets the server's cost model and caching policy.
+type Config struct {
+	// FragBytes is the network fragmentation unit.
+	FragBytes int
+	// FragCPU is the per-fragment handling cost on each side.
+	FragCPU time.Duration
+	// SmallCPU is the handling cost for small control messages (at or
+	// below SmallBytes on the wire).
+	SmallCPU time.Duration
+	// SmallBytes is the control-message size threshold.
+	SmallBytes int
+	// CachePerPageCPU is the cost of absorbing one page into the IOU
+	// cache when the server elects to become a backer.
+	CachePerPageCPU time.Duration
+	// ServeCPU is the backer's cost to service one read request beyond
+	// the IPC costs.
+	ServeCPU time.Duration
+	// DisableIOUCache turns off the caching behaviour (it is on by
+	// default); senders can also veto per message (NoIOUs) or per
+	// attachment (Copy).
+	DisableIOUCache bool
+	// CacheMinPages is the server's own-initiative threshold (§2.4): an
+	// attachment smaller than this many pages is cheaper to ship than
+	// to back, so it passes through physically. Default 4.
+	CacheMinPages int
+	// FrameOverhead is per-fragment wire framing bytes.
+	FrameOverhead int
+	// FragHeadroom is extra per-fragment capacity for protocol headers,
+	// so a one-page payload plus its headers still fits one fragment.
+	FragHeadroom int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FragBytes == 0 {
+		c.FragBytes = 512
+	}
+	if c.FragCPU == 0 {
+		c.FragCPU = 13 * time.Millisecond
+	}
+	if c.SmallCPU == 0 {
+		c.SmallCPU = 3 * time.Millisecond
+	}
+	if c.SmallBytes == 0 {
+		c.SmallBytes = 256
+	}
+	if c.CachePerPageCPU == 0 {
+		c.CachePerPageCPU = 20 * time.Microsecond
+	}
+	if c.ServeCPU == 0 {
+		c.ServeCPU = 3 * time.Millisecond
+	}
+	if c.FrameOverhead == 0 {
+		c.FrameOverhead = 32
+	}
+	if c.CacheMinPages == 0 {
+		c.CacheMinPages = 4
+	}
+	if c.FragHeadroom == 0 {
+		c.FragHeadroom = 128
+	}
+	return c
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Forwarded   uint64 // messages sent to peers
+	Delivered   uint64 // messages received from peers and delivered
+	DeadLetters uint64 // inbound messages with no local port or route
+	CachedPages uint64 // pages absorbed into the IOU cache
+	Served      uint64 // read requests answered from the cache
+	Retransmits uint64 // bulk fragments resent after injected loss
+	Lost        uint64 // single-fragment messages lost to injected drops
+}
+
+// Server is one machine's NetMsgServer.
+type Server struct {
+	k    *sim.Kernel
+	name string
+	cpu  *sim.Resource
+	sys  *ipc.System
+	cfg  Config
+
+	peers    map[string]*peerLink
+	routes   map[ipc.PortID]string // remote port → peer name
+	outbound *sim.Queue[*ipc.Message]
+
+	store    *imag.Store
+	backPort *ipc.Port
+
+	rec   *metrics.Recorder
+	stats Stats
+}
+
+type peerLink struct {
+	link *netlink.Link
+	peer *Server
+}
+
+// New creates the server and installs it as the machine's IPC router.
+// Call Start to launch its service processes.
+func New(k *sim.Kernel, name string, cpu *sim.Resource, sys *ipc.System, cfg Config) *Server {
+	s := &Server{
+		k:        k,
+		name:     name,
+		cpu:      cpu,
+		sys:      sys,
+		cfg:      cfg.withDefaults(),
+		peers:    make(map[string]*peerLink),
+		routes:   make(map[ipc.PortID]string),
+		outbound: sim.NewQueue[*ipc.Message](k),
+		store:    imag.NewStore(),
+	}
+	s.backPort = sys.AllocPort(name + ".netmsg.backer")
+	sys.SetRouter(s.route)
+	return s
+}
+
+// Connect attaches a bidirectional link to a peer server. Both sides
+// must call Connect (or use ConnectPair).
+func (s *Server) Connect(peer *Server, link *netlink.Link) {
+	s.peers[peer.name] = &peerLink{link: link, peer: peer}
+}
+
+// ConnectPair wires two servers over one shared link.
+func ConnectPair(a, b *Server, link *netlink.Link) {
+	a.Connect(b, link)
+	b.Connect(a, link)
+}
+
+// AddRoute teaches the server that a port lives at (or via) a peer.
+func (s *Server) AddRoute(port ipc.PortID, peer string) {
+	s.routes[port] = peer
+}
+
+// BackingPort is the port backing this server's cached IOUs.
+func (s *Server) BackingPort() ipc.PortID { return s.backPort.ID }
+
+// Store exposes the IOU cache for inspection (residual-dependency
+// accounting in experiments).
+func (s *Server) Store() *imag.Store { return s.store }
+
+// SetRecorder directs metrics to rec (may be nil).
+func (s *Server) SetRecorder(rec *metrics.Recorder) { s.rec = rec }
+
+// Stats returns a copy of the counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Start launches the forwarder and backer service processes.
+func (s *Server) Start() {
+	s.k.Go(s.name+".netmsg.fwd", s.forwarder)
+	s.k.Go(s.name+".netmsg.backer", s.backer)
+}
+
+// route is the IPC router hook: it claims messages addressed to ports
+// this server knows to be remote.
+func (s *Server) route(m *ipc.Message) bool {
+	if _, ok := s.routes[m.To]; !ok {
+		return false
+	}
+	s.outbound.Push(m)
+	return true
+}
+
+// forwarder drains the outbound queue and pushes each message across
+// the wire to its peer, stop-and-wait per fragment (the Accent network
+// protocol's effective behaviour; its buffering was too small to keep
+// many fragments in flight).
+func (s *Server) forwarder(p *sim.Proc) {
+	for {
+		m := s.outbound.Pop(p)
+		peerName := s.routes[m.To]
+		pl, ok := s.peers[peerName]
+		if !ok {
+			s.stats.DeadLetters++
+			continue
+		}
+		s.forward(p, m, pl)
+	}
+}
+
+func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
+	// Copy-on-reference caching: absorb eligible data attachments and
+	// pass IOUs in their place (§2.4, §3.1).
+	if !s.cfg.DisableIOUCache && !m.NoIOUs {
+		for i, a := range m.Mem {
+			if a.Kind != ipc.AttachData || a.Copy || len(a.Pages) < s.cfg.CacheMinPages {
+				continue
+			}
+			m.Mem[i] = s.absorb(p, a)
+		}
+	}
+
+	// Account physically shipped data pages (Table 4-3's transferred
+	// fraction).
+	if s.rec != nil {
+		dataPages := 0
+		for _, a := range m.Mem {
+			if a.Kind == ipc.AttachData {
+				dataPages += len(a.Pages)
+			}
+		}
+		if dataPages > 0 {
+			s.rec.Inc("pages.shipped.data", uint64(dataPages))
+		}
+	}
+
+	bytes := m.WireBytes()
+	unit := s.cfg.FragBytes + s.cfg.FragHeadroom
+	frags := (bytes + unit - 1) / unit
+	if frags < 1 {
+		frags = 1
+	}
+	var handling time.Duration
+
+	if frags == 1 {
+		// Single-fragment datagram: lost for real under injected drops;
+		// recovery is the requester's business (pager retry). Control
+		// messages are cheaper to process than data-bearing ones.
+		perSide := s.cfg.FragCPU
+		if bytes <= s.cfg.SmallBytes {
+			perSide = s.cfg.SmallCPU
+		}
+		s.cpu.UseHigh(p, perSide)
+		handling += perSide
+		if !pl.link.Transmit(p, bytes+s.cfg.FrameOverhead, m.FaultSupport) {
+			s.stats.Lost++
+			s.account(m, handling)
+			return
+		}
+		pl.peer.cpu.UseHigh(p, perSide)
+		handling += perSide
+	} else {
+		// Multi-fragment transfer: per-fragment ARQ makes it reliable
+		// at the cost of retransmission time and bytes.
+		rem := bytes
+		for f := 0; f < frags; f++ {
+			n := unit
+			if rem < n {
+				n = rem
+			}
+			rem -= n
+			for {
+				s.cpu.UseHigh(p, s.cfg.FragCPU)
+				handling += s.cfg.FragCPU
+				if pl.link.Transmit(p, n+s.cfg.FrameOverhead, m.FaultSupport) {
+					break
+				}
+				s.stats.Retransmits++
+			}
+			pl.peer.cpu.UseHigh(p, s.cfg.FragCPU)
+			handling += s.cfg.FragCPU
+		}
+	}
+	s.stats.Forwarded++
+	s.account(m, handling)
+
+	// The message crosses the wire as bytes: encode and hand the peer a
+	// freshly decoded copy, guaranteeing context messages are
+	// self-contained (§3.1) and that machines never share page buffers.
+	decoded, err := wire.Transfer(m)
+	if err != nil {
+		// A codec failure is a protocol bug, not a runtime condition.
+		panic(fmt.Sprintf("netmsg %s: wire transfer of op %#x: %v", s.name, m.Op, err))
+	}
+	pl.peer.deliver(p, decoded, s.name)
+}
+
+// account records one logical message's handling cost (both sides).
+func (s *Server) account(m *ipc.Message, cpu time.Duration) {
+	if s.rec != nil {
+		s.rec.AddMessage(cpu)
+	}
+}
+
+// absorb moves a data attachment into the IOU cache and returns the
+// replacement IOU attachment. Page indices in the store are relative to
+// the attachment base.
+func (s *Server) absorb(p *sim.Proc, a *ipc.MemAttachment) *ipc.MemAttachment {
+	segID := imag.NextSegID()
+	seg := s.store.AddSegment(segID, a.Size, s.cfg.FragBytes)
+	for _, pg := range a.Pages {
+		seg.Put(pg.Index, pg.Data)
+	}
+	s.cpu.UseHigh(p, time.Duration(len(a.Pages))*s.cfg.CachePerPageCPU)
+	s.stats.CachedPages += uint64(len(a.Pages))
+	return &ipc.MemAttachment{
+		Kind:      ipc.AttachIOU,
+		VA:        a.VA,
+		Size:      a.Size,
+		Collapsed: a.Collapsed,
+		Resident:  a.Resident,
+		SegID:     segID,
+		SegOff:    0,
+		SegSize:   a.Size,
+		Backing:   s.backPort.ID,
+	}
+}
+
+// deliver hands an inbound message to its local destination, learning
+// return routes from the message on the way.
+func (s *Server) deliver(p *sim.Proc, m *ipc.Message, from string) {
+	s.learnRoute(m.ReplyTo, from)
+	for _, a := range m.Mem {
+		if a.Kind == ipc.AttachIOU {
+			s.learnRoute(a.Backing, from)
+		}
+	}
+	_, local := s.sys.Lookup(m.To)
+	if err := s.sys.Send(p, m); err != nil {
+		s.stats.DeadLetters++
+		return
+	}
+	if local {
+		s.stats.Delivered++
+	}
+	// Otherwise the send re-entered the router: pure transit, counted
+	// by the onward Forwarded.
+}
+
+// learnRoute records that port is reachable via peer, unless the port
+// is local here.
+func (s *Server) learnRoute(port ipc.PortID, peer string) {
+	if port == 0 {
+		return
+	}
+	if _, local := s.sys.Lookup(port); local {
+		return
+	}
+	s.routes[port] = peer
+}
+
+// backer services read requests against the IOU cache.
+func (s *Server) backer(p *sim.Proc) {
+	for {
+		m := s.sys.Receive(p, s.backPort)
+		switch m.Op {
+		case imag.OpReadRequest:
+			req, ok := m.Body.(*imag.ReadRequest)
+			if !ok {
+				continue
+			}
+			seg, ok := s.store.Segment(req.SegID)
+			if !ok {
+				continue // dead segment; requester will retry and fail
+			}
+			rep := seg.Serve(req)
+			if rep == nil {
+				continue
+			}
+			s.cpu.UseHigh(p, s.cfg.ServeCPU)
+			s.stats.Served++
+			if s.rec != nil {
+				s.rec.Inc("pages.shipped.fault", uint64(len(rep.Pages)))
+			}
+			s.reply(p, m, imag.OpReadReply, rep)
+		case imag.OpFlush:
+			req, ok := m.Body.(*imag.FlushRequest)
+			if !ok {
+				continue
+			}
+			seg, ok := s.store.Segment(req.SegID)
+			if !ok {
+				continue
+			}
+			rep := seg.FlushAll()
+			s.cpu.UseHigh(p, s.cfg.ServeCPU)
+			s.reply(p, m, imag.OpFlushReply, rep)
+		case imag.OpSegmentDeath:
+			if d, ok := m.Body.(*imag.SegmentDeath); ok {
+				s.store.Drop(d.SegID)
+			}
+		}
+	}
+}
+
+func (s *Server) reply(p *sim.Proc, req *ipc.Message, op int, rep *imag.ReadReply) {
+	if req.ReplyTo == 0 {
+		return
+	}
+	err := s.sys.Send(p, &ipc.Message{
+		Op:           op,
+		To:           req.ReplyTo,
+		Body:         rep,
+		BodyBytes:    rep.Bytes(),
+		FaultSupport: true,
+	})
+	if err != nil {
+		s.stats.DeadLetters++
+	}
+}
+
+// Crash simulates failure of this server's backing service (e.g. the
+// host going down for everyone who still holds IOUs on it): the backing
+// port is withdrawn, so inbound read requests dead-letter and remote
+// faulters time out. Used by failure-injection tests and the residual-
+// dependency experiments.
+func (s *Server) Crash() {
+	s.sys.RemovePort(s.backPort)
+}
+
+// String identifies the server.
+func (s *Server) String() string { return fmt.Sprintf("netmsg(%s)", s.name) }

@@ -1,0 +1,328 @@
+// Package pager implements the Pager/Scheduler role of §2.2–2.3: it
+// resolves memory touches into FillZero faults (cheap, diskless), disk
+// faults (local page-in), and imaginary faults (an Imaginary Read
+// Request to the segment's backing port, with optional prefetch), and
+// it manages physical-memory residency including dirty write-back.
+//
+// For simulation economy the fault path executes in the context of the
+// faulting process while charging the machine CPU, rather than
+// context-switching to a separate Pager/Scheduler process; the elapsed
+// times and CPU consumption are the same, which is what the paper
+// measures.
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"accentmig/internal/disk"
+	"accentmig/internal/imag"
+	"accentmig/internal/ipc"
+	"accentmig/internal/metrics"
+	"accentmig/internal/sim"
+	"accentmig/internal/vm"
+)
+
+// ErrAddressError reports a touch of BadMem, which in Accent invokes
+// the debugger on the delinquent process.
+var ErrAddressError = errors.New("pager: address error (BadMem)")
+
+// ErrBackerLost reports that an imaginary fault could not be serviced
+// after all retries.
+var ErrBackerLost = errors.New("pager: imaginary read request unanswered")
+
+// Config sets the fault cost model. Zero values select defaults
+// calibrated so a local disk fault lands near the paper's 40.8 ms and a
+// remote imaginary fault near 115 ms.
+type Config struct {
+	// FillZeroCPU is the whole cost of a FillZero fault: reserve a
+	// frame, zero it, map it. The disk is never consulted.
+	FillZeroCPU time.Duration
+	// FaultCPU is the base fault-handling overhead (trap, map lookup,
+	// resume) charged on disk and imaginary faults.
+	FaultCPU time.Duration
+	// ImagCPU is the extra Pager/Scheduler work on the faulting side of
+	// an imaginary fault (building the request, fielding the reply).
+	ImagCPU time.Duration
+	// MapInCPU is charged per page mapped in from a fault reply.
+	MapInCPU time.Duration
+	// RetryTimeout bounds the wait for an imaginary read reply; on
+	// expiry the request is resent. Zero waits forever (reliable link).
+	RetryTimeout time.Duration
+	// MaxRetries bounds resends when RetryTimeout is set.
+	MaxRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FillZeroCPU == 0 {
+		c.FillZeroCPU = 3 * time.Millisecond
+	}
+	if c.FaultCPU == 0 {
+		c.FaultCPU = 7 * time.Millisecond
+	}
+	if c.ImagCPU == 0 {
+		c.ImagCPU = 38 * time.Millisecond
+	}
+	if c.MapInCPU == 0 {
+		c.MapInCPU = 2 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	return c
+}
+
+// Stats counts fault activity.
+type Stats struct {
+	FillZero   uint64
+	DiskFaults uint64
+	ImagFaults uint64
+	MapIns     uint64 // cheap missing-mapping completions
+	Retries    uint64
+
+	PrefetchedPages uint64 // extra pages that arrived with fault replies
+	PrefetchHits    uint64 // prefetched pages later touched
+}
+
+// HitRatio reports the fraction of prefetched pages that were
+// eventually touched.
+func (s Stats) HitRatio() float64 {
+	if s.PrefetchedPages == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHits) / float64(s.PrefetchedPages)
+}
+
+// Pager is one machine's fault handler.
+type Pager struct {
+	k    *sim.Kernel
+	name string
+	cpu  *sim.Resource
+	phys *vm.PhysMem
+	dsk  *disk.Disk
+	sys  *ipc.System
+	cfg  Config
+
+	prefetch int
+	rec      *metrics.Recorder
+	stats    Stats
+
+	// prefetched tracks pages that arrived unrequested and have not
+	// been touched yet, for hit-ratio accounting.
+	prefetched map[pageKey]bool
+}
+
+type pageKey struct {
+	segID uint64
+	index uint64
+}
+
+// New assembles a pager from the machine's parts.
+func New(k *sim.Kernel, name string, cpu *sim.Resource, phys *vm.PhysMem, dsk *disk.Disk, sys *ipc.System, cfg Config) *Pager {
+	return &Pager{
+		k:          k,
+		name:       name,
+		cpu:        cpu,
+		phys:       phys,
+		dsk:        dsk,
+		sys:        sys,
+		cfg:        cfg.withDefaults(),
+		prefetched: make(map[pageKey]bool),
+	}
+}
+
+// SetPrefetch sets how many extra contiguous pages each imaginary read
+// request asks for (the paper's PF0/1/3/7/15 knob).
+func (pg *Pager) SetPrefetch(n int) { pg.prefetch = n }
+
+// Prefetch reports the current prefetch amount.
+func (pg *Pager) Prefetch() int { return pg.prefetch }
+
+// SetRecorder directs counters to rec (may be nil).
+func (pg *Pager) SetRecorder(rec *metrics.Recorder) { pg.rec = rec }
+
+// Stats returns a copy of the fault counters.
+func (pg *Pager) Stats() Stats { return pg.stats }
+
+// ResetStats clears fault counters (between experiment phases).
+func (pg *Pager) ResetStats() {
+	pg.stats = Stats{}
+	pg.prefetched = make(map[pageKey]bool)
+}
+
+func (pg *Pager) inc(name string) {
+	if pg.rec != nil {
+		pg.rec.Inc(name, 1)
+	}
+}
+
+func (pg *Pager) observe(name string, v time.Duration) {
+	if pg.rec != nil {
+		pg.rec.Observe(name, v)
+	}
+}
+
+// Touch makes the page under addr resident, faulting as needed, and
+// updates LRU. write additionally marks the page dirty (performing any
+// deferred COW copy). This is the MMU+fault path every simulated memory
+// reference takes.
+func (pg *Pager) Touch(p *sim.Proc, as *vm.AddressSpace, addr vm.Addr, write bool) error {
+	pl, ok := as.Resolve(addr)
+	if !ok {
+		return fmt.Errorf("%w: %#x in %s", ErrAddressError, addr, pg.name)
+	}
+	key := pageKey{pl.Seg.ID, pl.PageIdx}
+	page := pl.Seg.Page(pl.PageIdx)
+
+	switch {
+	case page == nil && pl.Seg.Class == vm.ImagSeg:
+		start := p.Now()
+		if err := pg.imagFault(p, pl); err != nil {
+			return err
+		}
+		pg.observe("latency.fault.imag", p.Now()-start)
+	case page == nil:
+		// FillZero: conjure a zero frame; never touches the disk.
+		pg.cpu.UseHigh(p, pg.cfg.FillZeroCPU)
+		pl.Seg.MaterializeZero(pl.PageIdx)
+		pg.insert(pl.Seg, pl.PageIdx)
+		pg.stats.FillZero++
+		pg.inc("fault.fillzero")
+	case page.State.Resident:
+		pg.phys.Touch(pl.Seg, pl.PageIdx)
+	case page.State.OnDisk:
+		start := p.Now()
+		pg.cpu.UseHigh(p, pg.cfg.FaultCPU)
+		pg.dsk.Read(p, as.PageSize())
+		pg.insert(pl.Seg, pl.PageIdx)
+		pg.stats.DiskFaults++
+		pg.inc("fault.disk")
+		pg.observe("latency.fault.disk", p.Now()-start)
+	default:
+		// Materialized, not resident, not on disk: data just arrived in
+		// a message; only the mapping is missing (§2.3's cheap RealMem
+		// case).
+		pg.cpu.UseHigh(p, pg.cfg.MapInCPU)
+		pg.insert(pl.Seg, pl.PageIdx)
+		pg.stats.MapIns++
+	}
+
+	if pg.prefetched[key] {
+		delete(pg.prefetched, key)
+		pg.stats.PrefetchHits++
+		pg.inc("prefetch.hit")
+	}
+	if write {
+		if pl.Seg.BreakCOW(pl.PageIdx) {
+			// Deferred copy: charge the 512-byte page copy.
+			pg.cpu.UseHigh(p, time.Duration(as.PageSize())*pg.sys.Config().CopyPerByte)
+		}
+		pl.Seg.Page(pl.PageIdx).MarkWritten()
+	}
+	return nil
+}
+
+// Read returns n bytes at addr, faulting the page in first.
+func (pg *Pager) Read(p *sim.Proc, as *vm.AddressSpace, addr vm.Addr, n int) ([]byte, error) {
+	if err := pg.Touch(p, as, addr, false); err != nil {
+		return nil, err
+	}
+	pl, _ := as.Resolve(addr)
+	if n > as.PageSize()-pl.Offset {
+		n = as.PageSize() - pl.Offset
+	}
+	return pl.Seg.Read(pl.PageIdx, pl.Offset, n), nil
+}
+
+// Write stores data at addr (within one page), faulting first.
+func (pg *Pager) Write(p *sim.Proc, as *vm.AddressSpace, addr vm.Addr, data []byte) error {
+	if err := pg.Touch(p, as, addr, true); err != nil {
+		return err
+	}
+	pl, _ := as.Resolve(addr)
+	if len(data) > as.PageSize()-pl.Offset {
+		return fmt.Errorf("pager: write of %d bytes crosses page boundary at %#x", len(data), addr)
+	}
+	pl.Seg.Write(pl.PageIdx, pl.Offset, data)
+	return nil
+}
+
+// Install publicly exposes residency insertion for context insertion
+// (core.InsertProcess): the page becomes resident and dirty evictees
+// are written back in the background.
+func (pg *Pager) Install(seg *vm.Segment, idx uint64) {
+	pg.insert(seg, idx)
+}
+
+// insert makes the page resident, writing back any dirty evictees in
+// the background.
+func (pg *Pager) insert(seg *vm.Segment, idx uint64) {
+	for _, ev := range pg.phys.Insert(seg, idx) {
+		if ev.WasDirty {
+			pg.dsk.WriteAsync(pg.k, seg.PageSize())
+			pg.inc("pageout")
+		}
+	}
+}
+
+// imagFault services a touch of owed memory: an Imaginary Read Request
+// to the backing port, a wait for the reply, and map-in of the demand
+// page plus any prefetched neighbours.
+func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
+	pg.cpu.UseHigh(p, pg.cfg.FaultCPU+pg.cfg.ImagCPU)
+	pg.stats.ImagFaults++
+	pg.inc("fault.imag")
+
+	req := &imag.ReadRequest{SegID: pl.Seg.ID, PageIdx: pl.PageIdx, Prefetch: pg.prefetch}
+	reply := pg.sys.AllocPort("imag-reply")
+	defer pg.sys.RemovePort(reply)
+
+	var rep *ipc.Message
+	for attempt := 0; ; attempt++ {
+		m := &ipc.Message{
+			Op:           imag.OpReadRequest,
+			To:           ipc.PortID(pl.Seg.BackingPort),
+			ReplyTo:      reply.ID,
+			Body:         req,
+			BodyBytes:    imag.ReadRequestBytes,
+			FaultSupport: true,
+		}
+		if err := pg.sys.Send(p, m); err != nil {
+			return fmt.Errorf("pager: imaginary fault on seg %d page %d: %w", pl.Seg.ID, pl.PageIdx, err)
+		}
+		if pg.cfg.RetryTimeout <= 0 {
+			rep = pg.sys.Receive(p, reply)
+			break
+		}
+		var ok bool
+		rep, ok = pg.sys.ReceiveTimeout(p, reply, pg.cfg.RetryTimeout)
+		if ok {
+			break
+		}
+		pg.stats.Retries++
+		pg.inc("fault.retry")
+		if attempt >= pg.cfg.MaxRetries {
+			return fmt.Errorf("%w: seg %d page %d after %d attempts",
+				ErrBackerLost, pl.Seg.ID, pl.PageIdx, attempt+1)
+		}
+	}
+
+	body, ok := rep.Body.(*imag.ReadReply)
+	if !ok || len(body.Pages) == 0 {
+		return fmt.Errorf("pager: malformed imaginary read reply for seg %d page %d", pl.Seg.ID, pl.PageIdx)
+	}
+	for i, pd := range body.Pages {
+		// A page may have arrived earlier via prefetch and a duplicate
+		// can show up under retries; newest data wins either way.
+		pl.Seg.Materialize(pd.Index, pd.Data)
+		pg.cpu.UseHigh(p, pg.cfg.MapInCPU)
+		pg.insert(pl.Seg, pd.Index)
+		if i > 0 && pd.Index != pl.PageIdx {
+			pg.stats.PrefetchedPages++
+			pg.prefetched[pageKey{pl.Seg.ID, pd.Index}] = true
+			pg.inc("prefetch.page")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,409 @@
+package pager
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"accentmig/internal/disk"
+	"accentmig/internal/imag"
+	"accentmig/internal/ipc"
+	"accentmig/internal/sim"
+	"accentmig/internal/vm"
+)
+
+type rig struct {
+	k    *sim.Kernel
+	cpu  *sim.Resource
+	sys  *ipc.System
+	dsk  *disk.Disk
+	phys *vm.PhysMem
+	pg   *Pager
+	as   *vm.AddressSpace
+}
+
+// newRigQuick builds a rig without a testing.T, for property tests.
+func newRigQuick(frames int) *rig {
+	k := sim.New()
+	cpu := sim.NewResource(k, "cpu", 1)
+	sys := ipc.NewSystem(k, "m0", cpu, ipc.Config{})
+	dsk := disk.New(k, "d0", disk.Config{})
+	phys := vm.NewPhysMem(frames)
+	pg := New(k, "m0", cpu, phys, dsk, sys, Config{})
+	as := vm.MustNewAddressSpace(vm.Config{})
+	return &rig{k: k, cpu: cpu, sys: sys, dsk: dsk, phys: phys, pg: pg, as: as}
+}
+
+func newRig(t *testing.T, frames int) *rig {
+	t.Helper()
+	k := sim.New()
+	cpu := sim.NewResource(k, "cpu", 1)
+	sys := ipc.NewSystem(k, "m0", cpu, ipc.Config{})
+	dsk := disk.New(k, "d0", disk.Config{})
+	phys := vm.NewPhysMem(frames)
+	pg := New(k, "m0", cpu, phys, dsk, sys, Config{})
+	as := vm.MustNewAddressSpace(vm.Config{})
+	return &rig{k: k, cpu: cpu, sys: sys, dsk: dsk, phys: phys, pg: pg, as: as}
+}
+
+// startBacker runs a store-based backer on a fresh port and returns the
+// port. dropFirst makes it ignore its first request, to exercise retry.
+func (r *rig) startBacker(store *imag.Store, dropFirst bool) *ipc.Port {
+	port := r.sys.AllocPort("backer")
+	r.k.Go("backer", func(p *sim.Proc) {
+		dropped := false
+		for {
+			m := r.sys.Receive(p, port)
+			if m.Op != imag.OpReadRequest {
+				continue
+			}
+			if dropFirst && !dropped {
+				dropped = true
+				continue
+			}
+			req := m.Body.(*imag.ReadRequest)
+			seg, ok := store.Segment(req.SegID)
+			if !ok {
+				continue
+			}
+			rep := seg.Serve(req)
+			if rep == nil {
+				continue
+			}
+			r.sys.Send(p, &ipc.Message{
+				Op:           imag.OpReadReply,
+				To:           m.ReplyTo,
+				Body:         rep,
+				BodyBytes:    rep.Bytes(),
+				FaultSupport: true,
+			})
+		}
+	})
+	return port
+}
+
+func TestFillZeroFault(t *testing.T) {
+	r := newRig(t, 16)
+	reg, _ := r.as.Validate(0, 4*512, "data")
+	var elapsed time.Duration
+	r.k.Go("u", func(p *sim.Proc) {
+		if err := r.pg.Touch(p, r.as, 100, false); err != nil {
+			t.Errorf("Touch: %v", err)
+		}
+		elapsed = p.Now()
+	})
+	r.k.Run()
+	if elapsed != 3*time.Millisecond {
+		t.Errorf("FillZero took %v, want 3ms", elapsed)
+	}
+	if r.pg.Stats().FillZero != 1 {
+		t.Errorf("FillZero count = %d", r.pg.Stats().FillZero)
+	}
+	if r.dsk.Reads() != 0 {
+		t.Error("FillZero consulted the disk")
+	}
+	if !reg.Seg.Page(0).State.Resident {
+		t.Error("page not resident after FillZero")
+	}
+}
+
+func TestResidentTouchIsFree(t *testing.T) {
+	r := newRig(t, 16)
+	r.as.Validate(0, 512, "d")
+	var first, second time.Duration
+	r.k.Go("u", func(p *sim.Proc) {
+		r.pg.Touch(p, r.as, 0, false)
+		first = p.Now()
+		r.pg.Touch(p, r.as, 0, false)
+		second = p.Now()
+	})
+	r.k.Run()
+	if second != first {
+		t.Errorf("resident touch consumed time: %v", second-first)
+	}
+}
+
+func TestDiskFaultNear40ms(t *testing.T) {
+	r := newRig(t, 16)
+	reg, _ := r.as.Validate(0, 512, "d")
+	pg0 := reg.Seg.MaterializeZero(0)
+	pg0.State.OnDisk = true
+	var elapsed time.Duration
+	r.k.Go("u", func(p *sim.Proc) {
+		r.pg.Touch(p, r.as, 0, false)
+		elapsed = p.Now()
+	})
+	r.k.Run()
+	// Paper's local page access: ≈40.8 ms.
+	if elapsed < 30*time.Millisecond || elapsed > 50*time.Millisecond {
+		t.Errorf("disk fault took %v, want ≈40ms", elapsed)
+	}
+	if r.pg.Stats().DiskFaults != 1 {
+		t.Errorf("DiskFaults = %d", r.pg.Stats().DiskFaults)
+	}
+}
+
+func TestBadMemTouch(t *testing.T) {
+	r := newRig(t, 16)
+	var err error
+	r.k.Go("u", func(p *sim.Proc) {
+		err = r.pg.Touch(p, r.as, 0xdeadbeef, false)
+	})
+	r.k.Run()
+	if !errors.Is(err, ErrAddressError) {
+		t.Errorf("err = %v, want ErrAddressError", err)
+	}
+}
+
+func TestImaginaryFaultFetchesData(t *testing.T) {
+	r := newRig(t, 16)
+	store := imag.NewStore()
+	port := r.startBacker(store, false)
+	iseg := vm.NewImaginarySegment("owed", 8*512, 512, uint64(port.ID))
+	sseg := store.AddSegment(iseg.ID, 8*512, 512)
+	want := []byte("remote page content")
+	page := make([]byte, 512)
+	copy(page, want)
+	sseg.Put(2, page)
+	r.as.MapSegment(0, 8*512, iseg, 0, "owed")
+
+	var got []byte
+	r.k.Go("u", func(p *sim.Proc) {
+		var err error
+		got, err = r.pg.Read(p, r.as, 2*512, len(want))
+		if err != nil {
+			t.Errorf("Read: %v", err)
+		}
+	})
+	r.k.Run()
+	if string(got) != string(want) {
+		t.Errorf("fetched %q, want %q", got, want)
+	}
+	if r.pg.Stats().ImagFaults != 1 {
+		t.Errorf("ImagFaults = %d", r.pg.Stats().ImagFaults)
+	}
+	// Second touch is now local.
+	var again time.Duration
+	r.k.Go("u2", func(p *sim.Proc) {
+		start := p.Now()
+		r.pg.Touch(p, r.as, 2*512, false)
+		again = p.Now() - start
+	})
+	r.k.Run()
+	if again != 0 {
+		t.Errorf("refetched a fetched page (took %v)", again)
+	}
+}
+
+func TestPrefetchDeliveryAndHits(t *testing.T) {
+	r := newRig(t, 64)
+	store := imag.NewStore()
+	port := r.startBacker(store, false)
+	iseg := vm.NewImaginarySegment("owed", 16*512, 512, uint64(port.ID))
+	sseg := store.AddSegment(iseg.ID, 16*512, 512)
+	for i := uint64(0); i < 16; i++ {
+		sseg.Put(i, make([]byte, 512))
+	}
+	r.as.MapSegment(0, 16*512, iseg, 0, "owed")
+	r.pg.SetPrefetch(3)
+
+	r.k.Go("u", func(p *sim.Proc) {
+		r.pg.Touch(p, r.as, 0, false)     // demand 0, prefetch 1,2,3
+		r.pg.Touch(p, r.as, 512, false)   // hit on prefetched 1
+		r.pg.Touch(p, r.as, 2*512, false) // hit on prefetched 2
+		r.pg.Touch(p, r.as, 8*512, false) // new fault; prefetch 9,10,11
+	})
+	r.k.Run()
+	st := r.pg.Stats()
+	if st.ImagFaults != 2 {
+		t.Errorf("ImagFaults = %d, want 2", st.ImagFaults)
+	}
+	if st.PrefetchedPages != 6 {
+		t.Errorf("PrefetchedPages = %d, want 6", st.PrefetchedPages)
+	}
+	if st.PrefetchHits != 2 {
+		t.Errorf("PrefetchHits = %d, want 2", st.PrefetchHits)
+	}
+	if got := st.HitRatio(); got < 0.32 || got > 0.34 {
+		t.Errorf("HitRatio = %.3f, want 1/3", got)
+	}
+}
+
+func TestWriteMarksDirtyAndPageoutOnEviction(t *testing.T) {
+	r := newRig(t, 2)
+	r.as.Validate(0, 8*512, "d")
+	r.k.Go("u", func(p *sim.Proc) {
+		if err := r.pg.Write(p, r.as, 0, []byte("dirty")); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		// Fill memory so page 0 is evicted.
+		r.pg.Touch(p, r.as, 512, false)
+		r.pg.Touch(p, r.as, 2*512, false)
+	})
+	r.k.Run()
+	if r.dsk.Writes() != 1 {
+		t.Errorf("disk writes = %d, want 1 (dirty write-back)", r.dsk.Writes())
+	}
+	// Evicted page faults back from disk.
+	var st Stats
+	r.k.Go("u2", func(p *sim.Proc) {
+		r.pg.Touch(p, r.as, 0, false)
+		st = r.pg.Stats()
+	})
+	r.k.Run()
+	if st.DiskFaults != 1 {
+		t.Errorf("DiskFaults = %d, want 1", st.DiskFaults)
+	}
+}
+
+func TestWriteAcrossPageBoundaryRejected(t *testing.T) {
+	r := newRig(t, 4)
+	r.as.Validate(0, 2*512, "d")
+	var err error
+	r.k.Go("u", func(p *sim.Proc) {
+		err = r.pg.Write(p, r.as, 510, []byte("toolong"))
+	})
+	r.k.Run()
+	if err == nil {
+		t.Error("page-crossing write accepted")
+	}
+}
+
+func TestRetryAfterLostRequest(t *testing.T) {
+	r := newRig(t, 16)
+	r.pg.cfg.RetryTimeout = 500 * time.Millisecond
+	store := imag.NewStore()
+	port := r.startBacker(store, true) // drops first request
+	iseg := vm.NewImaginarySegment("owed", 512, 512, uint64(port.ID))
+	sseg := store.AddSegment(iseg.ID, 512, 512)
+	sseg.Put(0, make([]byte, 512))
+	r.as.MapSegment(0, 512, iseg, 0, "owed")
+	var err error
+	r.k.Go("u", func(p *sim.Proc) {
+		err = r.pg.Touch(p, r.as, 0, false)
+	})
+	r.k.Run()
+	if err != nil {
+		t.Fatalf("Touch failed despite retry: %v", err)
+	}
+	if r.pg.Stats().Retries != 1 {
+		t.Errorf("Retries = %d, want 1", r.pg.Stats().Retries)
+	}
+}
+
+func TestBackerLostAfterMaxRetries(t *testing.T) {
+	r := newRig(t, 16)
+	r.pg.cfg.RetryTimeout = 100 * time.Millisecond
+	r.pg.cfg.MaxRetries = 2
+	// A port with no server behind it: requests pile up unanswered.
+	port := r.sys.AllocPort("deaf")
+	iseg := vm.NewImaginarySegment("owed", 512, 512, uint64(port.ID))
+	r.as.MapSegment(0, 512, iseg, 0, "owed")
+	var err error
+	r.k.Go("u", func(p *sim.Proc) {
+		err = r.pg.Touch(p, r.as, 0, false)
+	})
+	r.k.Run()
+	if !errors.Is(err, ErrBackerLost) {
+		t.Errorf("err = %v, want ErrBackerLost", err)
+	}
+}
+
+func TestCOWBreakChargedOnWrite(t *testing.T) {
+	r := newRig(t, 16)
+	reg, _ := r.as.Validate(0, 512, "d")
+	src := vm.NewSegment("src", 512, 512)
+	src.Materialize(0, []byte("shared"))
+	reg.Seg.AdoptShared(0, src.Page(0))
+	var cowT, plainT time.Duration
+	r.k.Go("u", func(p *sim.Proc) {
+		r.pg.Touch(p, r.as, 0, false) // map in
+		start := p.Now()
+		r.pg.Touch(p, r.as, 0, true) // first write: breaks COW
+		cowT = p.Now() - start
+		start = p.Now()
+		r.pg.Touch(p, r.as, 0, true) // second write: already private
+		plainT = p.Now() - start
+	})
+	r.k.Run()
+	if cowT <= plainT {
+		t.Errorf("COW-breaking write (%v) not more expensive than plain write (%v)", cowT, plainT)
+	}
+	if src.Page(0).Shared() {
+		t.Error("source page still shared after write")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	r := newRig(t, 4)
+	r.as.Validate(0, 512, "d")
+	r.k.Go("u", func(p *sim.Proc) { r.pg.Touch(p, r.as, 0, false) })
+	r.k.Run()
+	if r.pg.Stats().FillZero != 1 {
+		t.Fatal("setup failed")
+	}
+	r.pg.ResetStats()
+	if r.pg.Stats().FillZero != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+// Property: after an arbitrary sequence of touches on a validated
+// region, every touched page is materialized, the resident count never
+// exceeds physical memory, and written content survives faulting.
+func TestQuickTouchSequenceInvariants(t *testing.T) {
+	f := func(ops []struct {
+		Page  uint8
+		Write bool
+	}) bool {
+		r := newRigQuick(4) // tiny memory to force eviction traffic
+		reg, err := r.as.Validate(0, 32*512, "d")
+		if err != nil {
+			return false
+		}
+		okAll := true
+		r.k.Go("u", func(p *sim.Proc) {
+			written := map[uint64]byte{}
+			for i, op := range ops {
+				pgIdx := uint64(op.Page % 32)
+				addr := vm.Addr(pgIdx * 512)
+				if op.Write {
+					b := byte(i)
+					if err := r.pg.Write(p, r.as, addr, []byte{b}); err != nil {
+						okAll = false
+						return
+					}
+					written[pgIdx] = b
+				} else {
+					got, err := r.pg.Read(p, r.as, addr, 1)
+					if err != nil {
+						okAll = false
+						return
+					}
+					want := byte(0)
+					if b, ok := written[pgIdx]; ok {
+						want = b
+					}
+					if got[0] != want {
+						okAll = false
+						return
+					}
+				}
+				if r.phys.Len() > r.phys.Capacity() {
+					okAll = false
+					return
+				}
+				if reg.Seg.Page(pgIdx) == nil {
+					okAll = false
+					return
+				}
+			}
+		})
+		r.k.Run()
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"accentmig/internal/sim"
+)
+
+// Two simulated processes share one CPU; the kernel interleaves them
+// deterministically and the virtual clock tracks only modelled costs.
+func Example() {
+	k := sim.New()
+	cpu := sim.NewResource(k, "cpu", 1)
+	for _, name := range []string{"alpha", "beta"} {
+		name := name
+		k.Go(name, func(p *sim.Proc) {
+			cpu.Use(p, 100*time.Millisecond)
+			fmt.Printf("%s finished at %v\n", name, p.Now())
+		})
+	}
+	k.Run()
+	// Output:
+	// alpha finished at 100ms
+	// beta finished at 200ms
+}
+
+// Queues hand items between processes with FIFO delivery.
+func ExampleQueue() {
+	k := sim.New()
+	q := sim.NewQueue[string](k)
+	k.Go("consumer", func(p *sim.Proc) {
+		fmt.Println("got:", q.Pop(p))
+	})
+	k.Go("producer", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		q.Push("page 42")
+	})
+	k.Run()
+	fmt.Println("virtual time:", k.Now())
+	// Output:
+	// got: page 42
+	// virtual time: 1s
+}
+
+// High-priority acquirers model kernel work that preempts user compute
+// at the next scheduling boundary.
+func ExampleResource_acquireHigh() {
+	k := sim.New()
+	cpu := sim.NewResource(k, "cpu", 1)
+	k.Go("user", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			cpu.Use(p, 50*time.Millisecond)
+		}
+	})
+	k.Go("kernel", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		cpu.UseHigh(p, time.Millisecond)
+		fmt.Println("kernel ran at", p.Now())
+	})
+	k.Run()
+	// Output:
+	// kernel ran at 51ms
+}

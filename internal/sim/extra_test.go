@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunUntilLeavesSleepersParked(t *testing.T) {
+	k := New()
+	woke := false
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(10 * time.Second)
+		woke = true
+	})
+	k.RunUntil(5 * time.Second)
+	if woke {
+		t.Fatal("sleeper woke before its time")
+	}
+	if k.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d", k.LiveProcs())
+	}
+	k.Run()
+	if !woke {
+		t.Fatal("sleeper never woke after resuming Run")
+	}
+}
+
+func TestQueueTimeoutPushRace(t *testing.T) {
+	// A push scheduled for the same instant as the timeout: exactly one
+	// of delivery or timeout wins, never both, and no item is lost.
+	k := New()
+	q := NewQueue[int](k)
+	var got int
+	var ok bool
+	k.Go("w", func(p *Proc) {
+		got, ok = q.PopTimeout(p, 100*time.Millisecond)
+	})
+	k.Schedule(100*time.Millisecond, func() { q.Push(42) })
+	k.Run()
+	if ok && got != 42 {
+		t.Errorf("delivered wrong value %d", got)
+	}
+	if !ok {
+		// Timed out: the item must still be in the queue.
+		if v, found := q.TryPop(); !found || v != 42 {
+			t.Error("item lost in timeout/push race")
+		}
+	}
+}
+
+func TestEventsRunAdvances(t *testing.T) {
+	k := New()
+	before := k.EventsRun()
+	for i := 0; i < 5; i++ {
+		k.Schedule(time.Millisecond, func() {})
+	}
+	k.Run()
+	if k.EventsRun() != before+5 {
+		t.Errorf("EventsRun = %d, want %d", k.EventsRun(), before+5)
+	}
+}
+
+func TestResourceCapacityTwoWithPriority(t *testing.T) {
+	k := New()
+	r := NewResource(k, "r", 2)
+	var order []string
+	grab := func(name string, d, hold time.Duration, high bool) {
+		k.Go(name, func(p *Proc) {
+			p.Sleep(d)
+			if high {
+				r.AcquireHigh(p)
+			} else {
+				r.Acquire(p)
+			}
+			order = append(order, name)
+			p.Sleep(hold)
+			r.Release()
+		})
+	}
+	grab("h1", 0, time.Second, false)
+	grab("h2", 0, time.Second, false)
+	grab("low", time.Millisecond, time.Millisecond, false)
+	grab("high", 2*time.Millisecond, time.Millisecond, true)
+	k.Run()
+	// h1,h2 fill both units; on first release, "high" jumps "low".
+	if len(order) != 4 || order[2] != "high" || order[3] != "low" {
+		t.Errorf("order = %v, want high before low", order)
+	}
+}
+
+func TestHandoffNoBarging(t *testing.T) {
+	// The releaser immediately re-acquiring must queue behind a granted
+	// waiter — the bug that starved migration behind compute loops.
+	k := New()
+	r := NewResource(k, "cpu", 1)
+	var got []string
+	k.Go("spinner", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			r.Acquire(p)
+			got = append(got, "spin")
+			p.Sleep(50 * time.Millisecond)
+			r.Release()
+		}
+	})
+	k.Go("kernel", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		r.AcquireHigh(p)
+		got = append(got, "kernel")
+		r.Release()
+	})
+	k.Run()
+	// Kernel must run after the first spin slice, not after all three.
+	if len(got) < 2 || got[1] != "kernel" {
+		t.Errorf("order = %v, want kernel second", got)
+	}
+}
+
+func TestGateWaitManyThenKill(t *testing.T) {
+	k := New()
+	g := NewGate(k)
+	victim := k.Go("victim", func(p *Proc) {
+		g.Wait(p)
+		t.Error("killed waiter passed the gate")
+	})
+	survived := false
+	k.Go("other", func(p *Proc) {
+		g.Wait(p)
+		survived = true
+	})
+	k.Go("driver", func(p *Proc) {
+		p.Sleep(time.Second)
+		victim.Kill()
+		p.Sleep(time.Second)
+		g.Open()
+	})
+	k.Run()
+	if !survived {
+		t.Error("surviving waiter never released")
+	}
+}
+
+func TestSchedulePanicsOnNilFn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(nil) did not panic")
+		}
+	}()
+	New().Schedule(0, nil)
+}
+
+func TestProcNowMatchesKernel(t *testing.T) {
+	k := New()
+	k.Go("p", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		if p.Now() != k.Now() {
+			t.Errorf("proc Now %v != kernel Now %v", p.Now(), k.Now())
+		}
+	})
+	k.Run()
+}

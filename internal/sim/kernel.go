@@ -1,0 +1,178 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and an event heap. Higher layers
+// model operating-system activity in one of two styles:
+//
+//   - callbacks scheduled at a virtual time (Kernel.Schedule), and
+//   - sequential processes (Proc) that run as goroutines but are
+//     interleaved cooperatively, exactly one at a time, so that a whole
+//     simulation is deterministic and race-free by construction.
+//
+// Events at the same virtual time fire in scheduling order (FIFO), which
+// makes every run of a simulation bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Kernel is a discrete-event simulation executive. The zero value is not
+// usable; create kernels with New.
+type Kernel struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+
+	// yield is the rendezvous on which the currently running Proc hands
+	// control back to the kernel. Only one Proc runs at a time, so a
+	// single unbuffered channel suffices.
+	yield chan struct{}
+
+	cur      *Proc // proc currently executing, nil in callback context
+	live     int   // procs started and not yet finished
+	ran      uint64
+	stopped  bool
+	deadline time.Duration
+	hasDL    bool
+}
+
+// New returns an empty kernel with the clock at zero.
+func New() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// EventsRun reports how many events have been dispatched so far. It is
+// useful in tests as a cheap progress/forward-motion check.
+func (k *Kernel) EventsRun() uint64 { return k.ran }
+
+// Schedule arranges for fn to run at Now()+d in kernel (callback)
+// context. A negative delay is treated as zero. Events scheduled for the
+// same instant run in the order they were scheduled.
+func (k *Kernel) Schedule(d time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule with nil function")
+	}
+	if d < 0 {
+		d = 0
+	}
+	k.push(&event{at: k.now + d, fn: fn})
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time t, which
+// must not be in the past.
+func (k *Kernel) ScheduleAt(t time.Duration, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) in the past (now %v)", t, k.now))
+	}
+	k.Schedule(t-k.now, fn)
+}
+
+func (k *Kernel) push(e *event) {
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.events, e)
+}
+
+// Stop makes Run return after the currently dispatching event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run dispatches events until the event heap is empty, the deadline set
+// by RunUntil is reached, or Stop is called. It returns the virtual time
+// at which it stopped. Procs that are still blocked when the heap drains
+// simply remain parked; this mirrors an idle operating system.
+func (k *Kernel) Run() time.Duration {
+	if k.cur != nil {
+		panic("sim: Run called from proc context")
+	}
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		e := heap.Pop(&k.events).(*event)
+		if k.hasDL && e.at > k.deadline {
+			// Put it back; a later RunUntil may want it.
+			heap.Push(&k.events, e)
+			k.now = k.deadline
+			k.hasDL = false
+			return k.now
+		}
+		if e.cancelled {
+			continue
+		}
+		k.now = e.at
+		k.ran++
+		e.fn()
+	}
+	k.hasDL = false
+	return k.now
+}
+
+// RunUntil dispatches events with timestamps up to and including t and
+// then returns, leaving later events queued and advancing the clock to t
+// if the heap drained early. It is the basis for incremental inspection
+// of a simulation (e.g. sampling a byte-rate series).
+func (k *Kernel) RunUntil(t time.Duration) time.Duration {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) in the past (now %v)", t, k.now))
+	}
+	k.deadline = t
+	k.hasDL = true
+	k.Run()
+	if k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+// Idle reports whether no events are pending.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+
+// LiveProcs reports the number of procs that have been started and have
+// not yet returned. A nonzero value with an idle heap means those procs
+// are blocked forever (e.g. servers waiting for requests), which is the
+// normal end state of an OS simulation.
+func (k *Kernel) LiveProcs() int { return k.live }
+
+// event is a single heap entry.
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a sequential simulated process. Its body runs on a dedicated
+// goroutine, but the kernel guarantees that at most one proc goroutine
+// executes at any real instant: a proc runs until it blocks on a kernel
+// primitive (Sleep, Queue.Pop, Resource.Acquire, ...) and only then does
+// the kernel dispatch the next event. This gives straight-line,
+// blocking-style OS code with fully deterministic interleaving.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	killed bool
+	done   bool
+}
+
+// killSignal is panicked inside a proc goroutine to unwind it when the
+// proc has been killed while parked.
+type killSignal struct{ p *Proc }
+
+// Go starts fn as a new simulated process at the current virtual time.
+// The returned Proc may be used immediately (e.g. passed to Kill), but
+// fn itself begins executing when the start event is dispatched.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	if fn == nil {
+		panic("sim: Go with nil function")
+	}
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.live++
+	k.Schedule(0, func() { p.launch(fn) })
+	return p
+}
+
+// launch runs in kernel context: it spins up the proc goroutine and
+// waits for it to park or finish before returning to the event loop.
+func (p *Proc) launch(fn func(p *Proc)) {
+	if p.killed {
+		p.finish()
+		return
+	}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if ks, ok := r.(killSignal); ok && ks.p == p {
+					// Normal unwind of a killed proc.
+				} else {
+					// Re-panic on the kernel side so the failure
+					// surfaces with this goroutine's stack attached.
+					p.done = true
+					p.k.live--
+					panic(r)
+				}
+			}
+			p.done = true
+			p.k.live--
+			p.k.cur = nil
+			p.k.yield <- struct{}{}
+		}()
+		p.k.cur = p
+		fn(p)
+	}()
+	<-p.k.yield
+}
+
+func (p *Proc) finish() {
+	p.done = true
+	p.k.live--
+}
+
+// park hands control back to the kernel and blocks until unparked. It
+// must be called from the proc's own goroutine.
+func (p *Proc) park() {
+	if p.k.cur != p {
+		panic(fmt.Sprintf("sim: proc %q parking while not current", p.name))
+	}
+	p.k.cur = nil
+	p.k.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSignal{p})
+	}
+	p.k.cur = p
+}
+
+// unpark runs in kernel context and transfers control to the parked
+// proc, returning once the proc parks again or finishes.
+func (p *Proc) unpark() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.k.yield
+}
+
+// Name reports the name the proc was created with.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this proc belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Done reports whether the proc body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep blocks the proc for d of virtual time. Zero and negative
+// durations yield the processor for one event-queue round trip, which
+// still provides a deterministic scheduling point.
+func (p *Proc) Sleep(d time.Duration) {
+	p.k.Schedule(d, p.unpark)
+	p.park()
+}
+
+// Yield reschedules the proc at the current instant, letting any other
+// events queued for this time run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill marks the proc dead. If it is parked it unwinds the next time it
+// would resume; if it is live on the event heap its pending resumption
+// turns into the unwind. Killing a finished proc is a no-op. Kill may be
+// called from kernel or proc context (but not on oneself).
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	if p.k.cur == p {
+		panic("sim: proc killing itself; return from the body instead")
+	}
+	p.killed = true
+	// If the proc is parked waiting on some queue/resource, nothing will
+	// resume it unless we do. A spurious resume for a proc that was
+	// about to be resumed anyway is harmless: unpark on a done proc is a
+	// no-op, and killSignal unwinds exactly once.
+	p.k.Schedule(0, func() {
+		if !p.done {
+			p.unpark()
+		}
+	})
+}
+
+// Park blocks the proc until some other party calls UnparkExternal. It
+// is a low-level escape hatch used by higher-level primitives (Queue,
+// Resource, Gate) in this package and by tests.
+func (p *Proc) Park() { p.park() }
+
+// UnparkExternal schedules the proc to resume at the current virtual
+// time. It must pair with a Park.
+func (p *Proc) UnparkExternal() {
+	p.k.Schedule(0, p.unpark)
+}

@@ -1,0 +1,117 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded FIFO of items passed between simulated
+// processes, the moral equivalent of a message queue inside the
+// simulated OS. Push never blocks; Pop blocks the calling proc until an
+// item is available. Items are delivered in FIFO order and waiters are
+// served in FIFO order.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []*qwaiter[T]
+}
+
+type qwaiter[T any] struct {
+	p         *Proc
+	item      T
+	delivered bool
+	cancelled bool // timeout fired or proc killed before delivery
+}
+
+// NewQueue returns an empty queue bound to kernel k.
+func NewQueue[T any](k *Kernel) *Queue[T] {
+	return &Queue[T]{k: k}
+}
+
+// Len reports the number of buffered (undelivered) items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Waiting reports the number of procs currently blocked in Pop.
+func (q *Queue[T]) Waiting() int {
+	n := 0
+	for _, w := range q.waiters {
+		if !w.cancelled && !w.p.killed && !w.p.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Push appends v. If a proc is blocked in Pop, the item is handed
+// directly to the longest-waiting live one and that proc is scheduled to
+// resume at the current virtual time.
+func (q *Queue[T]) Push(v T) {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.cancelled || w.p.killed || w.p.done {
+			continue
+		}
+		w.item = v
+		w.delivered = true
+		w.p.UnparkExternal()
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Pop removes and returns the head item, blocking p until one exists.
+func (q *Queue[T]) Pop(p *Proc) T {
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		return v
+	}
+	w := &qwaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	p.park()
+	if !w.delivered {
+		// Defensive: a spurious resume (e.g. from Kill racing a Push)
+		// without a delivered item; retry from the top.
+		w.cancelled = true
+		return q.Pop(p)
+	}
+	return w.item
+}
+
+// TryPop removes and returns the head item without blocking. The second
+// result reports whether an item was available.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// PopTimeout behaves like Pop but gives up after d of virtual time,
+// returning ok=false. A timeout of zero or less degenerates to TryPop.
+func (q *Queue[T]) PopTimeout(p *Proc, d time.Duration) (T, bool) {
+	if d <= 0 {
+		return q.TryPop()
+	}
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		return v, true
+	}
+	w := &qwaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	q.k.Schedule(d, func() {
+		if !w.delivered && !w.cancelled {
+			w.cancelled = true
+			p.UnparkExternal()
+		}
+	})
+	p.park()
+	if w.delivered {
+		return w.item, true
+	}
+	w.cancelled = true
+	var zero T
+	return zero, false
+}

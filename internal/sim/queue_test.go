@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	k := New()
+	q := NewQueue[int](k)
+	var got []int
+	k.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Push(i)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Pop(p))
+		}
+	})
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v, want 0..4 in order", got)
+		}
+	}
+}
+
+func TestQueuePushBeforePop(t *testing.T) {
+	k := New()
+	q := NewQueue[string](k)
+	q.Push("x")
+	q.Push("y")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	var got []string
+	k.Go("c", func(p *Proc) {
+		got = append(got, q.Pop(p), q.Pop(p))
+	})
+	k.Run()
+	if got[0] != "x" || got[1] != "y" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestQueueWaitersServedFIFO(t *testing.T) {
+	k := New()
+	q := NewQueue[int](k)
+	var served []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		k.Go(name, func(p *Proc) {
+			q.Pop(p)
+			served = append(served, name)
+		})
+	}
+	k.Go("pusher", func(p *Proc) {
+		p.Sleep(time.Second)
+		q.Push(1)
+		q.Push(2)
+		q.Push(3)
+	})
+	k.Run()
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if served[i] != want[i] {
+			t.Fatalf("served = %v, want %v", served, want)
+		}
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	k := New()
+	q := NewQueue[int](k)
+	if _, ok := q.TryPop(); ok {
+		t.Error("TryPop on empty queue returned ok")
+	}
+	q.Push(7)
+	v, ok := q.TryPop()
+	if !ok || v != 7 {
+		t.Errorf("TryPop = %d,%v, want 7,true", v, ok)
+	}
+}
+
+func TestQueuePopTimeoutExpires(t *testing.T) {
+	k := New()
+	q := NewQueue[int](k)
+	var ok bool
+	var at time.Duration
+	k.Go("w", func(p *Proc) {
+		_, ok = q.PopTimeout(p, 100*time.Millisecond)
+		at = p.Now()
+	})
+	k.Run()
+	if ok {
+		t.Error("PopTimeout returned ok with no producer")
+	}
+	if at != 100*time.Millisecond {
+		t.Errorf("timed out at %v, want 100ms", at)
+	}
+	if q.Waiting() != 0 {
+		t.Errorf("Waiting = %d after timeout, want 0", q.Waiting())
+	}
+}
+
+func TestQueuePopTimeoutDelivered(t *testing.T) {
+	k := New()
+	q := NewQueue[int](k)
+	var v int
+	var ok bool
+	k.Go("w", func(p *Proc) {
+		v, ok = q.PopTimeout(p, time.Second)
+	})
+	k.Go("pusher", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		q.Push(99)
+	})
+	k.Run()
+	if !ok || v != 99 {
+		t.Errorf("PopTimeout = %d,%v, want 99,true", v, ok)
+	}
+}
+
+func TestQueuePushSkipsKilledWaiter(t *testing.T) {
+	k := New()
+	q := NewQueue[int](k)
+	var got int
+	victim := k.Go("victim", func(p *Proc) {
+		q.Pop(p)
+		t.Error("victim received an item")
+	})
+	k.Go("survivor", func(p *Proc) {
+		p.Sleep(time.Millisecond) // enqueue after victim
+		got = q.Pop(p)
+	})
+	k.Go("driver", func(p *Proc) {
+		p.Sleep(time.Second)
+		victim.Kill()
+		p.Sleep(time.Second)
+		q.Push(5)
+	})
+	k.Run()
+	if got != 5 {
+		t.Errorf("survivor got %d, want 5", got)
+	}
+}
+
+// Property: any interleaved sequence of pushes is consumed in exactly
+// push order, independent of consumer count.
+func TestQuickQueueOrderPreserved(t *testing.T) {
+	f := func(vals []byte, consumers uint8) bool {
+		nc := int(consumers%4) + 1
+		k := New()
+		q := NewQueue[byte](k)
+		var got []byte
+		for c := 0; c < nc; c++ {
+			k.Go("c", func(p *Proc) {
+				for {
+					v, ok := q.PopTimeout(p, time.Minute)
+					if !ok {
+						return
+					}
+					got = append(got, v)
+				}
+			})
+		}
+		k.Go("prod", func(p *Proc) {
+			for _, v := range vals {
+				q.Push(v)
+				p.Sleep(time.Millisecond)
+			}
+		})
+		k.Run()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

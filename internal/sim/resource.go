@@ -1,0 +1,183 @@
+package sim
+
+import "time"
+
+// Resource is a counted semaphore with two-class priority admission
+// (FIFO within each class), used to model contended hardware such as a
+// CPU, a disk arm, or a network interface. High-priority acquisition
+// models kernel and system-server work that preempts user computation
+// at the next scheduling boundary.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+
+	// accounting
+	busy      time.Duration // total time units of held capacity
+	lastStamp time.Duration
+	acquires  uint64
+}
+
+type resWaiter struct {
+	p       *Proc
+	high    bool
+	granted bool // the unit was handed off directly by Release
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(k *Kernel, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: NewResource capacity must be >= 1")
+	}
+	return &Resource{k: k, name: name, capacity: capacity}
+}
+
+// Name reports the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// InUse reports the currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of procs blocked in Acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// enqueue inserts the waiter respecting class priority.
+func (r *Resource) enqueue(w *resWaiter) {
+	if !w.high {
+		r.waiters = append(r.waiters, w)
+		return
+	}
+	// Insert after the last queued high-priority waiter.
+	idx := 0
+	for idx < len(r.waiters) && r.waiters[idx].high {
+		idx++
+	}
+	r.waiters = append(r.waiters, nil)
+	copy(r.waiters[idx+1:], r.waiters[idx:])
+	r.waiters[idx] = w
+}
+
+// Acquires reports the number of successful acquisitions.
+func (r *Resource) Acquires() uint64 { return r.acquires }
+
+// BusyTime reports the integral of held units over virtual time, i.e.
+// capacity-seconds consumed so far.
+func (r *Resource) BusyTime() time.Duration {
+	r.account()
+	return r.busy
+}
+
+func (r *Resource) account() {
+	now := r.k.Now()
+	r.busy += time.Duration(r.inUse) * (now - r.lastStamp)
+	r.lastStamp = now
+}
+
+// Acquire blocks p until a unit is available and takes it (normal
+// priority).
+func (r *Resource) Acquire(p *Proc) { r.acquire(p, false) }
+
+// AcquireHigh is Acquire at system priority: the waiter is admitted
+// ahead of all normal-priority waiters.
+func (r *Resource) AcquireHigh(p *Proc) { r.acquire(p, true) }
+
+func (r *Resource) acquire(p *Proc, high bool) {
+	for r.inUse >= r.capacity {
+		w := &resWaiter{p: p, high: high}
+		r.enqueue(w)
+		p.park()
+		if w.granted {
+			// Release handed the unit to us directly (no barging: a
+			// releaser that immediately re-acquires must queue behind
+			// this grant). inUse was never decremented.
+			r.acquires++
+			return
+		}
+		// Spurious wakeup; retry.
+	}
+	r.account()
+	r.inUse++
+	r.acquires++
+}
+
+// Release returns one unit and wakes the longest-waiting proc, if any.
+// It may be called from kernel or proc context.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	r.account()
+	// Hand the unit directly to the longest-waiting live waiter, so the
+	// releaser cannot barge back in ahead of it; only if no waiter is
+	// live does the unit become free.
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		if w.p.killed || w.p.done {
+			continue
+		}
+		w.granted = true
+		w.p.UnparkExternal()
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for d of virtual time, and
+// releases it. This is the common "spend CPU" idiom: contention shows up
+// as queueing delay before the hold begins.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// UseHigh is Use at system priority, for kernel and server work that
+// must not starve behind user compute slices.
+func (r *Resource) UseHigh(p *Proc, d time.Duration) {
+	r.AcquireHigh(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Gate is a boolean latch: procs can wait until it opens; opening wakes
+// every waiter. Reusable after Close.
+type Gate struct {
+	k       *Kernel
+	open    bool
+	waiters []*Proc
+}
+
+// NewGate returns a closed gate.
+func NewGate(k *Kernel) *Gate { return &Gate{k: k} }
+
+// Opened reports whether the gate is open.
+func (g *Gate) Opened() bool { return g.open }
+
+// Open opens the gate and wakes all waiters.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	ws := g.waiters
+	g.waiters = nil
+	for _, w := range ws {
+		if !w.killed && !w.done {
+			w.UnparkExternal()
+		}
+	}
+}
+
+// Close shuts the gate again; future Wait calls block.
+func (g *Gate) Close() { g.open = false }
+
+// Wait blocks p until the gate is open. Returns immediately if open.
+func (g *Gate) Wait(p *Proc) {
+	for !g.open {
+		g.waiters = append(g.waiters, p)
+		p.park()
+	}
+}

@@ -1,0 +1,154 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AMapEntry is one coalesced run of addresses sharing an accessibility.
+type AMapEntry struct {
+	Start  Addr
+	End    Addr // exclusive
+	Access Accessibility
+}
+
+// Size reports the entry's extent in bytes.
+func (e AMapEntry) Size() uint64 { return uint64(e.End - e.Start) }
+
+// AMap is an Accessibility Map (§2.3): the complete accessibility
+// picture of an address space at one instant, as a sorted list of
+// coalesced runs. BadMem gaps between regions are implicit (anything
+// not covered by an entry is BadMem).
+type AMap struct {
+	PageSize int
+	Entries  []AMapEntry
+	Stats    AMapStats
+}
+
+// AMapStats captures the work done to build the map; the migration cost
+// model consumes these (AMap construction cost grows with process-map
+// complexity, not with bytes — §4.3.1).
+type AMapStats struct {
+	Regions           int    // process map entries scanned
+	Runs              int    // coalesced accessibility runs produced
+	MaterializedPages int    // pages whose state had to be examined
+	ValidatedPages    uint64 // total page slots covered
+}
+
+// BuildAMap scans the address space and produces its AMap. Only
+// materialized pages are visited, so sparse gigabyte spaces scan fast
+// while still yielding exact run structure.
+func BuildAMap(as *AddressSpace) *AMap {
+	m := &AMap{PageSize: as.PageSize()}
+	ps := as.ps
+	for _, r := range as.regions {
+		m.Stats.Regions++
+		firstPage := r.SegOff / ps
+		lastPage := (r.SegOff + r.Size() - 1) / ps
+		m.Stats.ValidatedPages += lastPage - firstPage + 1
+
+		// Sorted materialized page indices within the mapped window.
+		var mat []uint64
+		for idx := range r.Seg.pages {
+			if idx >= firstPage && idx <= lastPage {
+				mat = append(mat, idx)
+			}
+		}
+		sort.Slice(mat, func(i, j int) bool { return mat[i] < mat[j] })
+		m.Stats.MaterializedPages += len(mat)
+
+		gapAccess := RealZeroMem
+		if r.Seg.Class == ImagSeg {
+			gapAccess = ImagMem
+		}
+		// addrOf converts a segment page index to the region-relative VA.
+		addrOf := func(idx uint64) Addr { return r.Start + Addr(idx*ps-r.SegOff) }
+
+		cursor := firstPage
+		flushGap := func(untilExcl uint64) {
+			if untilExcl > cursor {
+				m.appendRun(AMapEntry{addrOf(cursor), addrOf(untilExcl), gapAccess})
+			}
+		}
+		i := 0
+		for i < len(mat) {
+			flushGap(mat[i])
+			// Extend a run of consecutive materialized pages.
+			j := i
+			for j+1 < len(mat) && mat[j+1] == mat[j]+1 {
+				j++
+			}
+			m.appendRun(AMapEntry{addrOf(mat[i]), addrOf(mat[j] + 1), RealMem})
+			cursor = mat[j] + 1
+			i = j + 1
+		}
+		flushGap(lastPage + 1)
+	}
+	m.Stats.Runs = len(m.Entries)
+	return m
+}
+
+// appendRun adds an entry, merging with the previous one when adjacent
+// and same-class (regions mapping the same backing can abut).
+func (m *AMap) appendRun(e AMapEntry) {
+	if n := len(m.Entries); n > 0 {
+		last := &m.Entries[n-1]
+		if last.End == e.Start && last.Access == e.Access {
+			last.End = e.End
+			return
+		}
+	}
+	m.Entries = append(m.Entries, e)
+}
+
+// Classify reports the accessibility of address a per this map.
+func (m *AMap) Classify(a Addr) Accessibility {
+	idx := sort.Search(len(m.Entries), func(i int) bool { return m.Entries[i].End > a })
+	if idx < len(m.Entries) && a >= m.Entries[idx].Start {
+		return m.Entries[idx].Access
+	}
+	return BadMem
+}
+
+// Slice returns the entries overlapping [start, end), clipped to that
+// window. Used by the NetMsgServer to fragment message memory (§2.4).
+func (m *AMap) Slice(start, end Addr) []AMapEntry {
+	var out []AMapEntry
+	for _, e := range m.Entries {
+		if e.End <= start || e.Start >= end {
+			continue
+		}
+		c := e
+		if c.Start < start {
+			c.Start = start
+		}
+		if c.End > end {
+			c.End = end
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TotalBytes sums entry extents by accessibility class.
+func (m *AMap) TotalBytes() map[Accessibility]uint64 {
+	out := make(map[Accessibility]uint64, 3)
+	for _, e := range m.Entries {
+		out[e.Access] += e.Size()
+	}
+	return out
+}
+
+// WireBytes estimates the AMap's encoded size: a 16-byte header plus
+// six bytes per entry — runs are delta-encoded (page-count varint plus
+// class), the compact form Accent shipped ("some AMaps are slightly
+// larger than others", §4.3.2, even for 4 GB Lisp spaces). Core context
+// messages carry the AMap, so its size feeds the transfer cost.
+func (m *AMap) WireBytes() int { return 16 + 6*len(m.Entries) }
+
+// String summarizes the map.
+func (m *AMap) String() string {
+	t := m.TotalBytes()
+	return fmt.Sprintf("AMap{%d entries, real=%d realzero=%d imag=%d}",
+		len(m.Entries), t[RealMem], t[RealZeroMem], t[ImagMem])
+}

@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Evicted describes a page pushed out of physical memory. WasDirty
+// tells the pager whether a write-back (with its disk cost) occurred;
+// the page's state has already been updated to on-disk, non-resident.
+type Evicted struct {
+	Seg      *Segment
+	Index    uint64
+	WasDirty bool
+}
+
+type frameKey struct {
+	segID uint64
+	index uint64
+}
+
+type frameEntry struct {
+	seg   *Segment
+	index uint64
+}
+
+// PhysMem models a machine's physical page frames with global LRU
+// replacement. Under Accent physical memory acts as a disk cache
+// (§4.2.3), so frames are shared across all processes on the machine
+// and stale file pages linger until squeezed out.
+type PhysMem struct {
+	capFrames int
+	order     *list.List // front = most recently used
+	index     map[frameKey]*list.Element
+}
+
+// NewPhysMem returns a physical memory of the given frame count.
+func NewPhysMem(frames int) *PhysMem {
+	if frames < 1 {
+		panic("vm: NewPhysMem needs at least one frame")
+	}
+	return &PhysMem{
+		capFrames: frames,
+		order:     list.New(),
+		index:     make(map[frameKey]*list.Element),
+	}
+}
+
+// Capacity reports the frame count.
+func (pm *PhysMem) Capacity() int { return pm.capFrames }
+
+// Len reports the number of occupied frames.
+func (pm *PhysMem) Len() int { return pm.order.Len() }
+
+// Resident reports whether the page occupies a frame.
+func (pm *PhysMem) Resident(seg *Segment, index uint64) bool {
+	_, ok := pm.index[frameKey{seg.ID, index}]
+	return ok
+}
+
+// Touch marks the page most recently used. It reports whether the page
+// was resident.
+func (pm *PhysMem) Touch(seg *Segment, index uint64) bool {
+	el, ok := pm.index[frameKey{seg.ID, index}]
+	if !ok {
+		return false
+	}
+	pm.order.MoveToFront(el)
+	return true
+}
+
+// Insert makes the page resident (the page must be materialized),
+// evicting least-recently-used frames if memory is full. Evicted pages
+// are transitioned to on-disk and returned so the caller can charge
+// write-back costs for the dirty ones.
+func (pm *PhysMem) Insert(seg *Segment, index uint64) []Evicted {
+	pg := seg.Page(index)
+	if pg == nil {
+		panic(fmt.Sprintf("vm: Insert of unmaterialized page %d of %q", index, seg.Name))
+	}
+	key := frameKey{seg.ID, index}
+	if el, ok := pm.index[key]; ok {
+		pm.order.MoveToFront(el)
+		pg.State.Resident = true
+		return nil
+	}
+	var evicted []Evicted
+	for pm.order.Len() >= pm.capFrames {
+		back := pm.order.Back()
+		fe := back.Value.(*frameEntry)
+		pm.order.Remove(back)
+		delete(pm.index, frameKey{fe.seg.ID, fe.index})
+		vp := fe.seg.Page(fe.index)
+		ev := Evicted{Seg: fe.seg, Index: fe.index}
+		if vp != nil {
+			ev.WasDirty = vp.State.Dirty
+			vp.State.Resident = false
+			vp.State.OnDisk = true
+			vp.State.Dirty = false
+		}
+		evicted = append(evicted, ev)
+	}
+	el := pm.order.PushFront(&frameEntry{seg: seg, index: index})
+	pm.index[key] = el
+	pg.State.Resident = true
+	return evicted
+}
+
+// Remove releases the page's frame without write-back bookkeeping; the
+// page keeps whatever disk state it had. Used when pages leave the
+// machine wholesale (process excision).
+func (pm *PhysMem) Remove(seg *Segment, index uint64) {
+	key := frameKey{seg.ID, index}
+	el, ok := pm.index[key]
+	if !ok {
+		return
+	}
+	pm.order.Remove(el)
+	delete(pm.index, key)
+	if pg := seg.Page(index); pg != nil {
+		pg.State.Resident = false
+	}
+}
+
+// RemoveSegment releases every frame belonging to seg.
+func (pm *PhysMem) RemoveSegment(seg *Segment) {
+	var next *list.Element
+	for el := pm.order.Front(); el != nil; el = next {
+		next = el.Next()
+		fe := el.Value.(*frameEntry)
+		if fe.seg.ID != seg.ID {
+			continue
+		}
+		pm.order.Remove(el)
+		delete(pm.index, frameKey{fe.seg.ID, fe.index})
+		if pg := fe.seg.Page(fe.index); pg != nil {
+			pg.State.Resident = false
+		}
+	}
+}
+
+// ResidentPages lists (segment, index) pairs in LRU order, most recent
+// first. Useful for resident-set extraction at migration time.
+func (pm *PhysMem) ResidentPages() []Evicted {
+	out := make([]Evicted, 0, pm.order.Len())
+	for el := pm.order.Front(); el != nil; el = el.Next() {
+		fe := el.Value.(*frameEntry)
+		out = append(out, Evicted{Seg: fe.seg, Index: fe.index})
+	}
+	return out
+}

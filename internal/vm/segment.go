@@ -1,0 +1,231 @@
+package vm
+
+import "fmt"
+
+// SegmentClass distinguishes locally backed segments from imaginary
+// (port-backed) ones.
+type SegmentClass int
+
+const (
+	// RealSeg data lives in local physical memory and/or on local disk.
+	RealSeg SegmentClass = iota
+	// ImagSeg data is owed by a backing port; pages are fetched through
+	// the IPC system on first reference (§2.2).
+	ImagSeg
+)
+
+// String names the class.
+func (c SegmentClass) String() string {
+	if c == RealSeg {
+		return "RealSeg"
+	}
+	return "ImagSeg"
+}
+
+// PageState tracks where a materialized page's data currently is.
+type PageState struct {
+	Resident bool // a physical frame holds the data
+	OnDisk   bool // the local paging disk holds a (possibly stale) copy
+	Dirty    bool // resident copy differs from the disk copy
+}
+
+// Page is one materialized page of a segment. Unmaterialized pages
+// (conceptual zeros, or imaginary pages not yet fetched) have no Page.
+type Page struct {
+	Index uint64 // page index within the segment
+	Data  []byte
+	State PageState
+
+	// Version counts content mutations, so incremental transfer schemes
+	// (pre-copy) can detect staleness cheaply.
+	Version uint64
+
+	// shares counts COW sharers including this page; a shared page's
+	// Data must be copied before a write. A page owns its Data when
+	// shares == nil or *shares == 1.
+	shares *int
+}
+
+// MarkWritten records a mutation: the page becomes dirty relative to
+// its disk copy and its version advances.
+func (p *Page) MarkWritten() {
+	p.State.Dirty = true
+	p.Version++
+}
+
+// Shared reports whether the page currently shares its Data copy-on-write.
+func (p *Page) Shared() bool { return p.shares != nil && *p.shares > 1 }
+
+// Segment is a memory object: a numbered container of pages. Real
+// segments are backed by local memory/disk; imaginary segments are
+// backed by an IPC port (identified here by an opaque uint64 port id so
+// this package stays below the IPC layer).
+type Segment struct {
+	ID          uint64
+	Name        string
+	Class       SegmentClass
+	BackingPort uint64 // valid when Class == ImagSeg
+	Size        uint64 // bytes
+
+	pageSize int
+	pages    map[uint64]*Page
+
+	refs    int    // live region mappings
+	onDeath func() // invoked when refs drops to zero (§2.2 Death message)
+}
+
+var nextSegID uint64
+
+// NewSegment creates a real segment of the given size.
+func NewSegment(name string, size uint64, pageSize int) *Segment {
+	nextSegID++
+	return &Segment{
+		ID:       nextSegID,
+		Name:     name,
+		Class:    RealSeg,
+		Size:     size,
+		pageSize: pageSize,
+		pages:    make(map[uint64]*Page),
+	}
+}
+
+// NewImaginarySegment creates an imaginary segment whose data is owed by
+// the given backing port.
+func NewImaginarySegment(name string, size uint64, pageSize int, backingPort uint64) *Segment {
+	s := NewSegment(name, size, pageSize)
+	s.Class = ImagSeg
+	s.BackingPort = backingPort
+	return s
+}
+
+// PageSize reports the segment's page size in bytes.
+func (s *Segment) PageSize() int { return s.pageSize }
+
+// Pages reports the number of pages the segment spans.
+func (s *Segment) Pages() uint64 {
+	return (s.Size + uint64(s.pageSize) - 1) / uint64(s.pageSize)
+}
+
+// Page returns the materialized page at index, or nil.
+func (s *Segment) Page(index uint64) *Page { return s.pages[index] }
+
+// MaterializedPages reports how many pages hold actual data.
+func (s *Segment) MaterializedPages() int { return len(s.pages) }
+
+// Materialize installs data for page index, creating the Page if
+// needed. The data is copied; len(data) must equal the page size (or be
+// shorter for the final partial page).
+func (s *Segment) Materialize(index uint64, data []byte) *Page {
+	if index >= s.Pages() {
+		panic(fmt.Sprintf("vm: materialize page %d beyond segment %q (%d pages)", index, s.Name, s.Pages()))
+	}
+	if len(data) > s.pageSize {
+		panic(fmt.Sprintf("vm: materialize with %d bytes > page size %d", len(data), s.pageSize))
+	}
+	p := s.pages[index]
+	if p == nil {
+		p = &Page{Index: index}
+		s.pages[index] = p
+	}
+	p.Data = make([]byte, s.pageSize)
+	copy(p.Data, data)
+	p.shares = nil
+	return p
+}
+
+// MaterializeZero installs an all-zero page (the FillZero fault result).
+func (s *Segment) MaterializeZero(index uint64) *Page {
+	return s.Materialize(index, nil)
+}
+
+// AdoptShared installs a page at index that shares data copy-on-write
+// with the given source page (large-message map-in, §2.1). Both pages
+// become COW sharers of the same backing bytes.
+func (s *Segment) AdoptShared(index uint64, src *Page) *Page {
+	if index >= s.Pages() {
+		panic(fmt.Sprintf("vm: adopt page %d beyond segment %q", index, s.Name))
+	}
+	if src.shares == nil {
+		n := 1
+		src.shares = &n
+	}
+	*src.shares++
+	p := &Page{Index: index, Data: src.Data, shares: src.shares, State: src.State}
+	p.State.Resident = false // residency is per-site, set by the caller
+	p.State.OnDisk = false
+	s.pages[index] = p
+	return p
+}
+
+// Read returns up to n bytes of the page at index starting at off. A
+// missing page reads as zeros.
+func (s *Segment) Read(index uint64, off, n int) []byte {
+	out := make([]byte, n)
+	p := s.pages[index]
+	if p == nil || p.Data == nil {
+		return out
+	}
+	copy(out, p.Data[off:])
+	return out
+}
+
+// Write stores data into the page at index starting at off, performing
+// the deferred copy if the page is COW-shared, and marks it dirty. The
+// page must already be materialized.
+func (s *Segment) Write(index uint64, off int, data []byte) {
+	p := s.pages[index]
+	if p == nil {
+		panic(fmt.Sprintf("vm: write to unmaterialized page %d of %q", index, s.Name))
+	}
+	s.breakCOW(p)
+	copy(p.Data[off:], data)
+	p.MarkWritten()
+}
+
+// breakCOW gives p a private copy of its data if it is currently shared.
+// It reports whether a copy was performed (the deferred-copy event the
+// IPC cost model charges for).
+func (s *Segment) breakCOW(p *Page) bool {
+	if !p.Shared() {
+		return false
+	}
+	*p.shares--
+	fresh := make([]byte, len(p.Data))
+	copy(fresh, p.Data)
+	p.Data = fresh
+	p.shares = nil
+	return true
+}
+
+// BreakCOW exposes the deferred-copy operation for the IPC layer, which
+// must charge its cost. It reports whether a physical copy happened.
+func (s *Segment) BreakCOW(index uint64) bool {
+	p := s.pages[index]
+	if p == nil {
+		return false
+	}
+	return s.breakCOW(p)
+}
+
+// Ref records a new mapping reference (a region now maps this segment).
+func (s *Segment) Ref() { s.refs++ }
+
+// Unref drops a mapping reference; when the last reference dies the
+// death callback fires, mirroring the Imaginary Segment Death message.
+func (s *Segment) Unref() {
+	if s.refs <= 0 {
+		panic(fmt.Sprintf("vm: unref of unreferenced segment %q", s.Name))
+	}
+	s.refs--
+	if s.refs == 0 && s.onDeath != nil {
+		fn := s.onDeath
+		s.onDeath = nil
+		fn()
+	}
+}
+
+// Refs reports the live mapping count.
+func (s *Segment) Refs() int { return s.refs }
+
+// OnDeath registers fn to run when the last mapping reference dies.
+func (s *Segment) OnDeath(fn func()) { s.onDeath = fn }

@@ -1,0 +1,168 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMaterializeAndRead(t *testing.T) {
+	s := NewSegment("s", 4*512, 512)
+	s.Materialize(2, []byte("hello"))
+	got := s.Read(2, 0, 5)
+	if string(got) != "hello" {
+		t.Errorf("Read = %q", got)
+	}
+	// Remainder of page is zero.
+	rest := s.Read(2, 5, 507)
+	for _, b := range rest {
+		if b != 0 {
+			t.Fatal("page tail not zero-filled")
+		}
+	}
+	// Unmaterialized page reads as zeros.
+	z := s.Read(0, 0, 16)
+	if !bytes.Equal(z, make([]byte, 16)) {
+		t.Error("unmaterialized page not zero")
+	}
+}
+
+func TestMaterializeBeyondSegmentPanics(t *testing.T) {
+	s := NewSegment("s", 512, 512)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range materialize")
+		}
+	}()
+	s.Materialize(1, nil)
+}
+
+func TestWriteMarksDirty(t *testing.T) {
+	s := NewSegment("s", 512, 512)
+	s.MaterializeZero(0)
+	s.Write(0, 10, []byte("abc"))
+	pg := s.Page(0)
+	if !pg.State.Dirty {
+		t.Error("write did not mark page dirty")
+	}
+	if string(s.Read(0, 10, 3)) != "abc" {
+		t.Error("write not visible")
+	}
+}
+
+func TestWriteUnmaterializedPanics(t *testing.T) {
+	s := NewSegment("s", 512, 512)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic writing unmaterialized page")
+		}
+	}()
+	s.Write(0, 0, []byte("x"))
+}
+
+func TestCOWSharingAndBreak(t *testing.T) {
+	src := NewSegment("src", 512, 512)
+	src.Materialize(0, []byte("shared data"))
+	dst := NewSegment("dst", 512, 512)
+	pg := dst.AdoptShared(0, src.Page(0))
+	if !pg.Shared() || !src.Page(0).Shared() {
+		t.Fatal("pages not marked shared after adopt")
+	}
+	if &src.Page(0).Data[0] != &pg.Data[0] {
+		t.Fatal("adopted page does not share backing bytes")
+	}
+	// Read-only access does not copy.
+	if string(dst.Read(0, 0, 6)) != "shared" {
+		t.Error("shared read wrong")
+	}
+	// Write breaks the share; the other copy is untouched.
+	dst.Write(0, 0, []byte("DST"))
+	if string(src.Read(0, 0, 6)) != "shared" {
+		t.Error("COW write leaked into source")
+	}
+	if string(dst.Read(0, 0, 6)) != "DSTred" {
+		t.Errorf("dst after write = %q", dst.Read(0, 0, 6))
+	}
+	if src.Page(0).Shared() || dst.Page(0).Shared() {
+		t.Error("pages still marked shared after break")
+	}
+}
+
+func TestCOWThreeWay(t *testing.T) {
+	src := NewSegment("src", 512, 512)
+	src.Materialize(0, []byte("abc"))
+	d1 := NewSegment("d1", 512, 512)
+	d2 := NewSegment("d2", 512, 512)
+	d1.AdoptShared(0, src.Page(0))
+	d2.AdoptShared(0, src.Page(0))
+	d1.Write(0, 0, []byte("X"))
+	// src and d2 still share.
+	if !src.Page(0).Shared() || !d2.Page(0).Shared() {
+		t.Error("remaining sharers lost their share marking")
+	}
+	if string(d2.Read(0, 0, 3)) != "abc" {
+		t.Error("d2 corrupted by d1's write")
+	}
+	d2.Write(0, 1, []byte("Y"))
+	if string(src.Read(0, 0, 3)) != "abc" {
+		t.Error("src corrupted")
+	}
+	if string(d2.Read(0, 0, 3)) != "aYc" {
+		t.Errorf("d2 = %q", d2.Read(0, 0, 3))
+	}
+}
+
+func TestBreakCOWReporting(t *testing.T) {
+	src := NewSegment("src", 512, 512)
+	src.Materialize(0, []byte("z"))
+	if src.BreakCOW(0) {
+		t.Error("BreakCOW on unshared page reported a copy")
+	}
+	dst := NewSegment("dst", 512, 512)
+	dst.AdoptShared(0, src.Page(0))
+	if !dst.BreakCOW(0) {
+		t.Error("BreakCOW on shared page reported no copy")
+	}
+	if dst.BreakCOW(0) {
+		t.Error("second BreakCOW reported a copy")
+	}
+	if dst.BreakCOW(5) {
+		t.Error("BreakCOW on missing page reported a copy")
+	}
+}
+
+func TestRefcountDeath(t *testing.T) {
+	s := NewSegment("s", 512, 512)
+	died := 0
+	s.OnDeath(func() { died++ })
+	s.Ref()
+	s.Ref()
+	s.Unref()
+	if died != 0 {
+		t.Error("death fired early")
+	}
+	s.Unref()
+	if died != 1 {
+		t.Errorf("died = %d, want 1", died)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on over-unref")
+		}
+	}()
+	s.Unref()
+}
+
+func TestSegmentIDsUnique(t *testing.T) {
+	a := NewSegment("a", 512, 512)
+	b := NewSegment("b", 512, 512)
+	if a.ID == b.ID {
+		t.Error("segment IDs collide")
+	}
+}
+
+func TestPagesCount(t *testing.T) {
+	s := NewSegment("s", 1000, 512)
+	if s.Pages() != 2 {
+		t.Errorf("Pages = %d, want 2", s.Pages())
+	}
+}

@@ -1,0 +1,114 @@
+// Package vm models the Accent virtual memory system at page
+// granularity: sparse address spaces of up to 4 gigabytes, segments
+// (real and imaginary) holding actual page data, copy-on-write sharing,
+// lazy zero-fill, physical memory with LRU replacement, and the
+// Accessibility Map (AMap) machinery that migration depends on.
+//
+// The package is purely mechanical: it classifies addresses and moves
+// page state around. Fault *costs* and fault *handling policy* live in
+// the pager and core packages.
+package vm
+
+import "fmt"
+
+// DefaultPageSize is the Accent page size: 512 bytes.
+const DefaultPageSize = 512
+
+// MaxSpace is the size of a full Accent address space: 4 gigabytes.
+const MaxSpace uint64 = 4 << 30
+
+// Addr is a virtual address within a process address space.
+type Addr uint64
+
+// Accessibility is the memory "distance" of an address, as defined for
+// AMaps in the paper (§2.3). The order reflects increasing distance.
+type Accessibility int
+
+const (
+	// RealZeroMem: validated but never touched; conceptually zero.
+	// Immediately accessible via an inexpensive FillZero fault.
+	RealZeroMem Accessibility = iota
+	// RealMem: data present in physical memory or on the local disk.
+	// Moderately accessible.
+	RealMem
+	// ImagMem: mapped to an imaginary segment; a touch generates an
+	// imaginary fault serviced through IPC. Distantly accessible.
+	ImagMem
+	// BadMem: not validated; touching it is an addressing error.
+	// Infinitely distant.
+	BadMem
+)
+
+// String returns the paper's name for the accessibility class.
+func (a Accessibility) String() string {
+	switch a {
+	case RealZeroMem:
+		return "RealZeroMem"
+	case RealMem:
+		return "RealMem"
+	case ImagMem:
+		return "ImagMem"
+	case BadMem:
+		return "BadMem"
+	default:
+		return fmt.Sprintf("Accessibility(%d)", int(a))
+	}
+}
+
+// Config parameterizes an address space. The zero value selects the
+// Accent defaults.
+type Config struct {
+	// PageSize in bytes; must be a power of two. Defaults to 512.
+	PageSize int
+}
+
+func (c Config) pageSize() int {
+	if c.PageSize == 0 {
+		return DefaultPageSize
+	}
+	return c.PageSize
+}
+
+func (c Config) validate() error {
+	ps := c.pageSize()
+	if ps < 8 || ps&(ps-1) != 0 {
+		return fmt.Errorf("vm: page size %d is not a power of two >= 8", ps)
+	}
+	return nil
+}
+
+// FaultKind classifies what servicing a touch of an address requires.
+type FaultKind int
+
+const (
+	// NoFault: the page is resident; the reference proceeds directly.
+	NoFault FaultKind = iota
+	// FillZeroFault: first touch of validated-but-untouched memory; a
+	// zero frame is conjured without consulting the disk.
+	FillZeroFault
+	// DiskFault: the page image must be read from the local disk.
+	DiskFault
+	// ImagFault: the page must be requested from the segment's backing
+	// port through the IPC system.
+	ImagFault
+	// AddressError: the address is BadMem.
+	AddressError
+)
+
+// String names the fault kind.
+func (f FaultKind) String() string {
+	switch f {
+	case NoFault:
+		return "NoFault"
+	case FillZeroFault:
+		return "FillZeroFault"
+	case DiskFault:
+		return "DiskFault"
+	case ImagFault:
+		return "ImagFault"
+	case AddressError:
+		return "AddressError"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(f))
+	}
+}

@@ -1,0 +1,318 @@
+// Package wire serializes IPC messages to bytes and back, so that
+// everything a NetMsgServer forwards is provably self-contained — the
+// §3.1 property that context messages "do not have to be preprocessed
+// in any way". The simulator could pass Go pointers between machines;
+// instead, every wire crossing encodes to a frame and decodes a fresh
+// copy at the peer, making accidental cross-machine sharing impossible
+// and catching any forgotten field the moment a test round-trips it.
+//
+// Costs are still charged from ipc.Message.WireBytes (the calibrated
+// analytic estimate); the encoded frame length tracks it closely and
+// tests assert the two stay within a small factor.
+//
+// Message bodies are arbitrary Go values, so ops register a BodyCodec;
+// the copy-on-reference protocol bodies (package imag) are registered
+// here, migration bodies (package core) register themselves in an
+// init, and unregistered bodies pass by reference with a documented
+// caveat (they are simulation-internal test payloads).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"accentmig/internal/imag"
+	"accentmig/internal/ipc"
+	"accentmig/internal/vm"
+)
+
+// BodyCodec encodes and decodes one op's body type. Extras carry
+// opaque references that cannot be byte-encoded (bodies of nested
+// pending mail without codecs); they ride alongside the frame and must
+// be consumed in order by Decode. Most codecs ignore them.
+type BodyCodec struct {
+	Encode func(v any) (frame []byte, extras []any, err error)
+	Decode func(frame []byte, extras []any) (v any, err error)
+}
+
+var bodyCodecs = map[int]BodyCodec{}
+
+// RegisterBody installs the codec for an op. Later registrations for
+// the same op win, which lets tests stub protocols.
+func RegisterBody(op int, c BodyCodec) { bodyCodecs[op] = c }
+
+// buf is a tiny append-only encoder.
+type buf struct{ b []byte }
+
+func (w *buf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *buf) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *buf) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *buf) i64(v int64)  { w.u64(uint64(v)) }
+func (w *buf) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *buf) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *buf) str(v string) { w.bytes([]byte(v)) }
+
+// rdr is the matching decoder; it panics with errTruncated via helpers
+// and the public functions recover it into an error.
+type rdr struct {
+	b   []byte
+	off int
+}
+
+type truncated struct{}
+
+func (r *rdr) need(n int) []byte {
+	if r.off+n > len(r.b) {
+		panic(truncated{})
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+func (r *rdr) u8() uint8   { return r.need(1)[0] }
+func (r *rdr) u32() uint32 { return binary.BigEndian.Uint32(r.need(4)) }
+func (r *rdr) u64() uint64 { return binary.BigEndian.Uint64(r.need(8)) }
+func (r *rdr) i64() int64  { return int64(r.u64()) }
+func (r *rdr) bool() bool  { return r.u8() != 0 }
+func (r *rdr) bytes() []byte {
+	n := int(r.u32())
+	out := make([]byte, n)
+	copy(out, r.need(n))
+	return out
+}
+func (r *rdr) str() string { return string(r.bytes()) }
+
+// EncodeMessage serializes m, deep-copying all attachment data. The
+// body is encoded through its op's registered codec; with no codec the
+// body is carried out-of-band in extras (it is a simulation-internal
+// payload that never reaches real bytes).
+func EncodeMessage(m *ipc.Message) (frame []byte, extras []any, err error) {
+	w := &buf{}
+	w.i64(int64(m.Op))
+	w.u64(uint64(m.To))
+	w.u64(uint64(m.ReplyTo))
+	w.u32(uint32(m.BodyBytes))
+	w.bool(m.NoIOUs)
+	w.bool(m.FaultSupport)
+
+	if codec, ok := bodyCodecs[m.Op]; ok && m.Body != nil {
+		body, ex, err := codec.Encode(m.Body)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wire: encode op %#x body: %w", m.Op, err)
+		}
+		w.u8(1)
+		w.bytes(body)
+		extras = ex
+	} else {
+		w.u8(0)
+		extras = []any{m.Body}
+	}
+
+	w.u32(uint32(len(m.Mem)))
+	for _, a := range m.Mem {
+		encodeAttachment(w, a)
+	}
+	return w.b, extras, nil
+}
+
+func encodeAttachment(w *buf, a *ipc.MemAttachment) {
+	w.u8(uint8(a.Kind))
+	w.u64(uint64(a.VA))
+	w.u64(a.Size)
+	w.bool(a.Collapsed)
+	w.bool(a.Resident)
+	w.bool(a.Copy)
+	w.u64(a.SegID)
+	w.u64(a.SegOff)
+	w.u64(a.SegSize)
+	w.u64(uint64(a.Backing))
+	w.u32(uint32(len(a.Pages)))
+	for _, pg := range a.Pages {
+		w.u64(pg.Index)
+		w.bytes(pg.Data)
+	}
+}
+
+// DecodeMessage reconstructs a message from a frame, consuming the
+// extras its encoder produced.
+func DecodeMessage(frame []byte, extras []any) (m *ipc.Message, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(truncated); ok {
+				m, err = nil, fmt.Errorf("wire: truncated frame (%d bytes)", len(frame))
+				return
+			}
+			panic(rec)
+		}
+	}()
+	r := &rdr{b: frame}
+	m = &ipc.Message{
+		Op:      int(r.i64()),
+		To:      ipc.PortID(r.u64()),
+		ReplyTo: ipc.PortID(r.u64()),
+	}
+	m.BodyBytes = int(r.u32())
+	m.NoIOUs = r.bool()
+	m.FaultSupport = r.bool()
+
+	if r.u8() == 1 {
+		body := r.bytes()
+		codec, ok := bodyCodecs[m.Op]
+		if !ok {
+			return nil, fmt.Errorf("wire: frame carries op %#x body but no codec is registered", m.Op)
+		}
+		v, err := codec.Decode(body, extras)
+		if err != nil {
+			return nil, fmt.Errorf("wire: decode op %#x body: %w", m.Op, err)
+		}
+		m.Body = v
+	} else {
+		if len(extras) != 1 {
+			return nil, fmt.Errorf("wire: codec-less body wants 1 extra, have %d", len(extras))
+		}
+		m.Body = extras[0]
+	}
+
+	n := int(r.u32())
+	for i := 0; i < n; i++ {
+		m.Mem = append(m.Mem, decodeAttachment(r))
+	}
+	if r.off != len(frame) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(frame)-r.off)
+	}
+	return m, nil
+}
+
+func decodeAttachment(r *rdr) *ipc.MemAttachment {
+	a := &ipc.MemAttachment{
+		Kind:      ipc.AttachKind(r.u8()),
+		VA:        vm.Addr(r.u64()),
+		Size:      r.u64(),
+		Collapsed: r.bool(),
+		Resident:  r.bool(),
+		Copy:      r.bool(),
+		SegID:     r.u64(),
+		SegOff:    r.u64(),
+		SegSize:   r.u64(),
+		Backing:   ipc.PortID(r.u64()),
+	}
+	n := int(r.u32())
+	for i := 0; i < n; i++ {
+		idx := r.u64()
+		a.Pages = append(a.Pages, ipc.PageImage{Index: idx, Data: r.bytes()})
+	}
+	return a
+}
+
+// Transfer encodes and immediately decodes a message — the simulator's
+// wire crossing. The result shares no mutable byte state with the
+// input (codec-less bodies pass by reference, documented above).
+func Transfer(m *ipc.Message) (*ipc.Message, error) {
+	frame, extras, err := EncodeMessage(m)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMessage(frame, extras)
+}
+
+// FrameBytes reports the encoded frame length without keeping it.
+func FrameBytes(m *ipc.Message) (int, error) {
+	frame, _, err := EncodeMessage(m)
+	if err != nil {
+		return 0, err
+	}
+	return len(frame), nil
+}
+
+// --- built-in codecs for the copy-on-reference protocol ---
+
+func init() {
+	RegisterBody(imag.OpReadRequest, BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			rq, ok := v.(*imag.ReadRequest)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *imag.ReadRequest, got %T", v)
+			}
+			w := &buf{}
+			w.u64(rq.SegID)
+			w.u64(rq.PageIdx)
+			w.i64(int64(rq.Prefetch))
+			return w.b, nil, nil
+		},
+		Decode: func(b []byte, _ []any) (any, error) {
+			r := &rdr{b: b}
+			return &imag.ReadRequest{
+				SegID:    r.u64(),
+				PageIdx:  r.u64(),
+				Prefetch: int(r.i64()),
+			}, nil
+		},
+	})
+	replyCodec := BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			rp, ok := v.(*imag.ReadReply)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *imag.ReadReply, got %T", v)
+			}
+			w := &buf{}
+			w.u64(rp.SegID)
+			w.u32(uint32(len(rp.Pages)))
+			for _, pg := range rp.Pages {
+				w.u64(pg.Index)
+				w.bytes(pg.Data)
+			}
+			return w.b, nil, nil
+		},
+		Decode: func(b []byte, _ []any) (any, error) {
+			r := &rdr{b: b}
+			rp := &imag.ReadReply{SegID: r.u64()}
+			n := int(r.u32())
+			for i := 0; i < n; i++ {
+				idx := r.u64()
+				rp.Pages = append(rp.Pages, imag.PageData{Index: idx, Data: r.bytes()})
+			}
+			return rp, nil
+		},
+	}
+	RegisterBody(imag.OpReadReply, replyCodec)
+	RegisterBody(imag.OpFlushReply, replyCodec)
+	RegisterBody(imag.OpSegmentDeath, BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			d, ok := v.(*imag.SegmentDeath)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *imag.SegmentDeath, got %T", v)
+			}
+			w := &buf{}
+			w.u64(d.SegID)
+			return w.b, nil, nil
+		},
+		Decode: func(b []byte, _ []any) (any, error) {
+			r := &rdr{b: b}
+			return &imag.SegmentDeath{SegID: r.u64()}, nil
+		},
+	})
+	RegisterBody(imag.OpFlush, BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			f, ok := v.(*imag.FlushRequest)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *imag.FlushRequest, got %T", v)
+			}
+			w := &buf{}
+			w.u64(f.SegID)
+			return w.b, nil, nil
+		},
+		Decode: func(b []byte, _ []any) (any, error) {
+			r := &rdr{b: b}
+			return &imag.FlushRequest{SegID: r.u64()}, nil
+		},
+	})
+}

@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"accentmig/internal/imag"
+	"accentmig/internal/ipc"
+	"accentmig/internal/vm"
+)
+
+func roundTrip(t *testing.T, m *ipc.Message) *ipc.Message {
+	t.Helper()
+	out, err := Transfer(m)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	return out
+}
+
+func TestRoundTripEnvelope(t *testing.T) {
+	m := &ipc.Message{
+		Op: 0x42, To: 7, ReplyTo: 9, BodyBytes: 123,
+		NoIOUs: true, FaultSupport: true,
+	}
+	out := roundTrip(t, m)
+	if out.Op != m.Op || out.To != m.To || out.ReplyTo != m.ReplyTo ||
+		out.BodyBytes != m.BodyBytes || out.NoIOUs != m.NoIOUs || out.FaultSupport != m.FaultSupport {
+		t.Errorf("envelope mismatch: %+v vs %+v", out, m)
+	}
+}
+
+func TestRoundTripDataAttachment(t *testing.T) {
+	att := &ipc.MemAttachment{
+		Kind: ipc.AttachData, VA: 0x1234000, Size: 2 * 512,
+		Collapsed: true, Resident: true, Copy: true,
+		Pages: []ipc.PageImage{
+			{Index: 0, Data: []byte("page zero contents")},
+			{Index: 1, Data: bytes.Repeat([]byte{0xAB}, 512)},
+		},
+	}
+	m := &ipc.Message{Op: 1, Mem: []*ipc.MemAttachment{att}}
+	out := roundTrip(t, m)
+	oa := out.Mem[0]
+	if oa.Kind != att.Kind || oa.VA != att.VA || oa.Size != att.Size ||
+		!oa.Collapsed || !oa.Resident || !oa.Copy {
+		t.Errorf("attachment fields lost: %+v", oa)
+	}
+	if len(oa.Pages) != 2 || !bytes.Equal(oa.Pages[1].Data, att.Pages[1].Data) {
+		t.Error("page data corrupted")
+	}
+	// Deep copy: mutating the original must not affect the decoded one.
+	att.Pages[1].Data[0] = 0xFF
+	if oa.Pages[1].Data[0] == 0xFF {
+		t.Error("decoded message shares page buffers with the source")
+	}
+}
+
+func TestRoundTripIOUAttachment(t *testing.T) {
+	att := &ipc.MemAttachment{
+		Kind: ipc.AttachIOU, VA: 0x8000, Size: 1 << 20,
+		SegID: 99, SegOff: 4096, SegSize: 2 << 20, Backing: 1234,
+	}
+	out := roundTrip(t, &ipc.Message{Op: 2, Mem: []*ipc.MemAttachment{att}})
+	oa := out.Mem[0]
+	if oa.Kind != att.Kind || oa.VA != att.VA || oa.Size != att.Size ||
+		oa.SegID != att.SegID || oa.SegOff != att.SegOff ||
+		oa.SegSize != att.SegSize || oa.Backing != att.Backing {
+		t.Errorf("IOU mismatch: %+v vs %+v", oa, att)
+	}
+}
+
+func TestRoundTripImagBodies(t *testing.T) {
+	cases := []*ipc.Message{
+		{Op: imag.OpReadRequest, Body: &imag.ReadRequest{SegID: 5, PageIdx: 9, Prefetch: 3}, BodyBytes: imag.ReadRequestBytes},
+		{Op: imag.OpReadReply, Body: &imag.ReadReply{SegID: 5, Pages: []imag.PageData{{Index: 9, Data: []byte("hi")}}}},
+		{Op: imag.OpFlushReply, Body: &imag.ReadReply{SegID: 5}},
+		{Op: imag.OpSegmentDeath, Body: &imag.SegmentDeath{SegID: 5}, BodyBytes: imag.SegmentDeathBytes},
+		{Op: imag.OpFlush, Body: &imag.FlushRequest{SegID: 5}, BodyBytes: imag.FlushRequestBytes},
+	}
+	for _, m := range cases {
+		out := roundTrip(t, m)
+		switch want := m.Body.(type) {
+		case *imag.ReadRequest:
+			got := out.Body.(*imag.ReadRequest)
+			if *got != *want {
+				t.Errorf("ReadRequest: %+v vs %+v", got, want)
+			}
+		case *imag.ReadReply:
+			got := out.Body.(*imag.ReadReply)
+			if got.SegID != want.SegID || len(got.Pages) != len(want.Pages) {
+				t.Errorf("ReadReply: %+v vs %+v", got, want)
+			}
+			for i := range want.Pages {
+				if got.Pages[i].Index != want.Pages[i].Index ||
+					!bytes.Equal(got.Pages[i].Data, want.Pages[i].Data) {
+					t.Errorf("ReadReply page %d mismatch", i)
+				}
+			}
+		case *imag.SegmentDeath:
+			if *out.Body.(*imag.SegmentDeath) != *want {
+				t.Error("SegmentDeath mismatch")
+			}
+		case *imag.FlushRequest:
+			if *out.Body.(*imag.FlushRequest) != *want {
+				t.Error("FlushRequest mismatch")
+			}
+		}
+	}
+}
+
+func TestPassthroughBody(t *testing.T) {
+	m := &ipc.Message{Op: 0x7777, Body: "just a test payload", BodyBytes: 19}
+	out := roundTrip(t, m)
+	if out.Body.(string) != "just a test payload" {
+		t.Errorf("passthrough body lost: %v", out.Body)
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	out := roundTrip(t, &ipc.Message{Op: imag.OpReadRequest})
+	if out.Body != nil {
+		t.Errorf("nil body decoded as %v", out.Body)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	m := &ipc.Message{Op: 1, BodyBytes: 5, Mem: []*ipc.MemAttachment{{
+		Kind: ipc.AttachData, Size: 512,
+		Pages: []ipc.PageImage{{Index: 0, Data: make([]byte, 512)}},
+	}}}
+	frame, extras, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(frame) / 2, len(frame) - 1} {
+		if _, err := DecodeMessage(frame[:cut], extras); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	frame, extras, err := EncodeMessage(&ipc.Message{Op: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMessage(append(frame, 0xEE), extras); err == nil {
+		t.Error("trailing garbage not detected")
+	}
+}
+
+func TestFrameBytesTracksWireBytes(t *testing.T) {
+	// The analytic WireBytes estimate and the real encoded length must
+	// stay within a small factor for representative message shapes.
+	mk := func(pages int) *ipc.Message {
+		att := &ipc.MemAttachment{Kind: ipc.AttachData, Size: uint64(pages) * 512}
+		for i := 0; i < pages; i++ {
+			att.Pages = append(att.Pages, ipc.PageImage{Index: uint64(i), Data: make([]byte, 512)})
+		}
+		return &ipc.Message{Op: 1, BodyBytes: 64, Mem: []*ipc.MemAttachment{att}}
+	}
+	for _, pages := range []int{1, 16, 256} {
+		m := mk(pages)
+		fb, err := FrameBytes(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb := m.WireBytes()
+		ratio := float64(fb) / float64(wb)
+		if ratio < 0.7 || ratio > 1.5 {
+			t.Errorf("%d pages: frame %d vs WireBytes %d (ratio %.2f)", pages, fb, wb, ratio)
+		}
+	}
+}
+
+// Property: arbitrary attachments survive the round trip bit-for-bit.
+func TestQuickAttachmentRoundTrip(t *testing.T) {
+	f := func(va uint32, size uint64, kind bool, flags [3]bool, pages [][]byte, segID, segOff uint64) bool {
+		att := &ipc.MemAttachment{
+			VA: vm.Addr(va), Size: size,
+			Collapsed: flags[0], Resident: flags[1], Copy: flags[2],
+			SegID: segID, SegOff: segOff,
+		}
+		if kind {
+			att.Kind = ipc.AttachIOU
+		} else {
+			for i, d := range pages {
+				if len(d) > 512 {
+					d = d[:512]
+				}
+				att.Pages = append(att.Pages, ipc.PageImage{Index: uint64(i), Data: d})
+			}
+		}
+		out, err := Transfer(&ipc.Message{Op: 3, Mem: []*ipc.MemAttachment{att}})
+		if err != nil {
+			return false
+		}
+		oa := out.Mem[0]
+		if oa.Kind != att.Kind || oa.VA != att.VA || oa.Size != att.Size ||
+			oa.Collapsed != att.Collapsed || oa.Resident != att.Resident || oa.Copy != att.Copy ||
+			oa.SegID != att.SegID || oa.SegOff != att.SegOff {
+			return false
+		}
+		if len(oa.Pages) != len(att.Pages) {
+			return false
+		}
+		for i := range att.Pages {
+			if !bytes.Equal(oa.Pages[i].Data, att.Pages[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+// This file centralizes the paper's published evaluation numbers so
+// the report generator and the regression tests compare against one
+// authoritative copy.
+
+// PaperTable43IOU is Table 4-3's IOU column: percent of RealMem
+// accessed at the remote site under pure copy-on-reference. The Lisp-T
+// row is illegible in the published scan; 3.0 is inferred from §4.5's
+// "between 3% and 58% of the RealMem portions".
+var PaperTable43IOU = map[Kind]float64{
+	Minprog: 8.6,
+	LispT:   3.0,
+	LispDel: 16.5,
+	PMStart: 58.0,
+	PMMid:   51.5,
+	PMEnd:   26.9,
+	Chess:   35.6,
+}
+
+// PaperTable44 is Table 4-4: excision times in seconds.
+type PaperExcision struct {
+	AMap, RIMAS, Overall float64
+}
+
+// PaperTable44Rows holds the published excision breakdown.
+var PaperTable44Rows = map[Kind]PaperExcision{
+	Minprog: {0.37, 0.36, 0.82},
+	LispT:   {2.12, 0.59, 2.79},
+	LispDel: {2.46, 0.73, 3.38},
+	PMStart: {0.98, 0.63, 1.67},
+	PMMid:   {1.01, 0.68, 1.74},
+	PMEnd:   {1.40, 0.94, 2.45},
+	Chess:   {0.37, 0.43, 1.00},
+}
+
+// PaperTransfer is one Table 4-5 row: transfer times in seconds.
+type PaperTransfer struct {
+	IOU, RS, Copy float64
+}
+
+// PaperTable45Rows holds the published address-space transfer times.
+var PaperTable45Rows = map[Kind]PaperTransfer{
+	Minprog: {0.16, 5.0, 8.5},
+	LispT:   {0.16, 25.8, 157.0},
+	LispDel: {0.17, 25.8, 168.5},
+	PMStart: {0.15, 9.0, 30.8},
+	PMMid:   {0.16, 13.0, 28.1},
+	PMEnd:   {0.19, 20.5, 31.0},
+	Chess:   {0.21, 7.7, 11.7},
+}
+
+// PaperResidentPct is Table 4-2's (%Real, %Total) columns.
+var PaperResidentPct = map[Kind][2]float64{
+	Minprog: {50.4, 21.7},
+	LispT:   {8.6, 0.005},
+	LispDel: {8.7, 0.005},
+	PMStart: {29.4, 13.9},
+	PMMid:   {42.8, 20.9},
+	PMEnd:   {61.4, 33.9},
+	Chess:   {56.3, 22.0},
+}
+
+// Paper §4.5 headline aggregates.
+const (
+	PaperByteSavingsPct    = 58.2
+	PaperMsgTimeSavingsPct = 47.8
+	PaperRemoteFaultMs     = 115.0
+	PaperDiskFaultMs       = 40.8
+	PaperFaultRatio        = 2.8
+	PaperPeakReductionPct  = 66.0 // "up to"
+	PaperBreakevenPct      = 25.0 // "around one-quarter"
+)
