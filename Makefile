@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet check report clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# Regenerate the measured side of EXPERIMENTS.md.
+report:
+	$(GO) run ./cmd/migreport > EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

@@ -19,7 +19,9 @@ import (
 
 	"accentmig/internal/core"
 	"accentmig/internal/experiments"
+	"accentmig/internal/obs"
 	"accentmig/internal/workload"
+	"accentmig/internal/xrand"
 )
 
 var experimentOrder = []string{
@@ -33,6 +35,11 @@ var tunables struct {
 	bandwidth  int
 	dropProb   float64
 	csv        bool
+
+	sink interface {
+		obs.Sink
+		Close() error
+	}
 }
 
 func main() {
@@ -43,6 +50,9 @@ func main() {
 	flag.IntVar(&tunables.bandwidth, "bandwidth", 0, "link rate in bytes/sec (0 = default 375000)")
 	flag.Float64Var(&tunables.dropProb, "droprate", 0, "frame loss probability on the link")
 	flag.BoolVar(&tunables.csv, "csv", false, "emit figure data as CSV instead of text")
+	trace := flag.String("trace", "", "write a flight-recorder trace of every simulation to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
+	seed := flag.Uint64("seed", 0, "base seed perturbing all random streams (0 = calibrated defaults)")
 	flag.Parse()
 
 	if *list {
@@ -52,9 +62,27 @@ func main() {
 		return
 	}
 
+	xrand.SetBaseSeed(*seed)
+
 	kinds, err := parseKinds(*kindsFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		switch *traceFormat {
+		case "jsonl":
+			tunables.sink = obs.NewJSONLSink(f)
+		case "chrome":
+			tunables.sink = obs.NewChromeSink(f)
+		default:
+			fatal(fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat))
+		}
 	}
 
 	ids := []string{*exp}
@@ -64,6 +92,11 @@ func main() {
 	for _, id := range ids {
 		if err := run(id, kinds); err != nil {
 			fatal(err)
+		}
+	}
+	if tunables.sink != nil {
+		if err := tunables.sink.Close(); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
 		}
 	}
 }
@@ -97,6 +130,11 @@ func run(id string, kinds []workload.Kind) error {
 	cfg.Machine.PhysFrames = tunables.physFrames
 	cfg.Link.BytesPerSecond = tunables.bandwidth
 	cfg.Link.DropProb = tunables.dropProb
+	if tunables.sink != nil {
+		// Namespace every trial's machines by experiment, so one trace
+		// file holds the whole run with distinguishable process groups.
+		cfg.Sink = obs.WithPrefix(tunables.sink, id+"/")
+	}
 	switch id {
 	case "table4-1":
 		rows, err := experiments.Table41(cfg)
@@ -157,7 +195,11 @@ func run(id string, kinds []workload.Kind) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.FormatFigure45(panels))
+		if tunables.csv {
+			fmt.Print(experiments.FormatFigure45CSV(panels))
+		} else {
+			fmt.Println(experiments.FormatFigure45(panels))
+		}
 	case "summary":
 		g, err := experiments.RunGrid(cfg, kinds)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"accentmig/internal/ipc"
 	"accentmig/internal/machine"
+	"accentmig/internal/obs"
 	"accentmig/internal/sim"
 	"accentmig/internal/trace"
 	"accentmig/internal/vm"
@@ -189,6 +190,14 @@ func ExciseProcess(p *sim.Proc, m *machine.Machine, pr *machine.Process, strat S
 	m.Remove(pr.Name)
 	pr.Status = machine.Excised
 	pr.Host = nil
+	if m.K.Tracing() {
+		m.K.Emit(obs.Event{
+			Kind:    obs.StateChange,
+			Machine: m.Name,
+			Proc:    pr.Name,
+			Name:    machine.Excised.String(),
+		})
+	}
 
 	coreBody := &CoreBody{
 		ProcName:         pr.Name,

@@ -7,6 +7,7 @@ import (
 
 	"accentmig/internal/ipc"
 	"accentmig/internal/machine"
+	"accentmig/internal/obs"
 	"accentmig/internal/sim"
 	"accentmig/internal/vm"
 )
@@ -86,6 +87,34 @@ func NewManager(m *machine.Machine, tun Tuning) *Manager {
 // Inserted reports how many processes this manager has reconstructed.
 func (mgr *Manager) Inserted() uint64 { return mgr.inserted }
 
+// phase records the migration phase [start, end] twice — in the
+// machine's metrics recorder and in the flight recorder — with the same
+// endpoints, so a trace's summed phase spans agree exactly with the
+// recorder's Phases() output.
+func (mgr *Manager) phase(procName, name string, start, end time.Duration) {
+	if rec := mgr.M.Recorder(); rec != nil {
+		rec.StartPhase(name, start)
+		rec.EndPhase(name, end)
+	}
+	if mgr.M.K.Tracing() {
+		mgr.M.K.EmitAt(start, obs.Event{
+			Kind: obs.PhaseBegin, Machine: mgr.M.Name, Proc: procName, Name: name,
+		})
+		mgr.M.K.EmitAt(end, obs.Event{
+			Kind: obs.PhaseEnd, Machine: mgr.M.Name, Proc: procName, Name: name,
+		})
+	}
+}
+
+// state records a migration state transition for procName.
+func (mgr *Manager) state(procName, state string) {
+	if mgr.M.K.Tracing() {
+		mgr.M.K.Emit(obs.Event{
+			Kind: obs.StateChange, Machine: mgr.M.Name, Proc: procName, Name: state,
+		})
+	}
+}
+
 // serve handles inbound context messages.
 func (mgr *Manager) serve(p *sim.Proc) {
 	for {
@@ -101,6 +130,7 @@ func (mgr *Manager) serve(p *sim.Proc) {
 			mgr.M.CPU.UseHigh(p, mgr.Tun.CoreRightsCPU+
 				time.Duration(len(cb.Rights))*mgr.Tun.PerPortRight)
 			mgr.pendingCore[cb.ProcName] = &pending{core: m, coreArrived: p.Now()}
+			mgr.state(cb.ProcName, "CoreArrived")
 			if m.ReplyTo != 0 {
 				_ = mgr.M.IPC.Send(p, &ipc.Message{
 					Op:        OpCoreAck,
@@ -146,6 +176,7 @@ func (mgr *Manager) handleRIMAS(p *sim.Proc, rb *RIMASBody, m *ipc.Message) {
 			mgr.inserted++
 			ack.Insert = it
 			ack.InsertDone = p.Now()
+			mgr.state(rb.ProcName, "Inserted")
 			if !rb.HoldAtDest {
 				mgr.M.Start(pr)
 			}
@@ -247,6 +278,10 @@ func (mgr *Manager) MigrateTo(p *sim.Proc, procName string, destPort ipc.PortID,
 	if ack.Err != "" {
 		return nil, fmt.Errorf("%w: %s", ErrMigrationFailed, ack.Err)
 	}
+	mgr.phase(procName, "excise", startAt, startAt+ctx.Timings.Overall)
+	mgr.phase(procName, "xfer.core", coreSendStart, coreAck.CoreArrived)
+	mgr.phase(procName, "xfer.rimas", rimasSendStart, ack.RIMASArrived)
+	mgr.phase(procName, "insert", ack.InsertDone-ack.Insert.Overall, ack.InsertDone)
 	return &Report{
 		Excise:        ctx.Timings,
 		Insert:        ack.Insert,

@@ -152,6 +152,19 @@ func FormatFigure45(panels []Figure45Panel) string {
 	return b.String()
 }
 
+// FormatFigure45CSV renders the Figure 4-5 panels as CSV (strategy,
+// bucket start in seconds, bytes, fault bytes) for external plotting.
+func FormatFigure45CSV(panels []Figure45Panel) string {
+	var b strings.Builder
+	b.WriteString("strategy,t_seconds,bytes,fault_bytes\n")
+	for _, p := range panels {
+		for _, pt := range p.Series {
+			fmt.Fprintf(&b, "%s,%g,%d,%d\n", p.Strategy, pt.T.Seconds(), pt.Bytes, pt.FaultBytes)
+		}
+	}
+	return b.String()
+}
+
 // FormatFigureCSV renders figure cells as CSV (workload, strategy,
 // prefetch, value) for external plotting.
 func FormatFigureCSV(cells map[workload.Kind][]FigureCell, kinds []workload.Kind) string {

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"testing"
+
+	"accentmig/internal/core"
+	"accentmig/internal/obs"
+	"accentmig/internal/workload"
+)
+
+// TestTraceTrialPhaseAgreement is the observability acceptance check:
+// the flight recorder's PhaseBegin/PhaseEnd spans must agree exactly
+// with the metrics recorder's Phases() for the same trial, because the
+// manager writes both from the same timestamps.
+func TestTraceTrialPhaseAgreement(t *testing.T) {
+	tr, sink, err := TraceTrial(Config{}, workload.LispDel, core.PureIOU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Phases) == 0 {
+		t.Fatal("trial recorded no phases")
+	}
+
+	type span struct{ begin, end int64 }
+	spans := map[string]*span{}
+	for _, ev := range sink.Events() {
+		switch ev.Kind {
+		case obs.PhaseBegin:
+			if spans[ev.Name] == nil {
+				spans[ev.Name] = &span{begin: -1, end: -1}
+			}
+			spans[ev.Name].begin = int64(ev.T)
+		case obs.PhaseEnd:
+			if spans[ev.Name] == nil {
+				spans[ev.Name] = &span{begin: -1, end: -1}
+			}
+			spans[ev.Name].end = int64(ev.T)
+		}
+	}
+	for _, ph := range tr.Phases {
+		sp := spans[ph.Name]
+		if sp == nil {
+			t.Errorf("phase %q has no trace events", ph.Name)
+			continue
+		}
+		if sp.begin != int64(ph.Start) || sp.end != int64(ph.End) {
+			t.Errorf("phase %q: trace span [%d,%d] != recorder span [%d,%d]",
+				ph.Name, sp.begin, sp.end, int64(ph.Start), int64(ph.End))
+		}
+	}
+	if len(spans) != len(tr.Phases) {
+		t.Errorf("trace has %d phase spans, recorder has %d phases", len(spans), len(tr.Phases))
+	}
+}
+
+// TestTraceTrialKindCoverage checks a lazy-migration trace spans the
+// whole stack: ipc (MsgSend/MsgRecv), pager (FaultStart/FaultResolved/
+// PageTransfer), and core (PhaseBegin/StateChange) — at least five
+// distinct event kinds overall.
+func TestTraceTrialKindCoverage(t *testing.T) {
+	_, sink, err := TraceTrial(Config{}, workload.LispDel, core.PureIOU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := sink.CountKinds()
+	distinct := 0
+	for _, n := range counts {
+		if n > 0 {
+			distinct++
+		}
+	}
+	if distinct < 5 {
+		t.Errorf("only %d distinct event kinds in trace: %v", distinct, counts)
+	}
+	layers := map[string][]obs.Kind{
+		"ipc":   {obs.MsgSend, obs.MsgRecv},
+		"pager": {obs.FaultStart, obs.FaultResolved, obs.PageTransfer},
+		"core":  {obs.PhaseBegin, obs.StateChange},
+	}
+	for layer, kinds := range layers {
+		found := false
+		for _, k := range kinds {
+			if counts[k] > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no events from the %s layer in trace: %v", layer, counts)
+		}
+	}
+}
+
+// TestTraceTrialEventOrdering: virtual timestamps must be
+// non-decreasing in emission order, and sequence numbers strictly
+// increasing — the determinism contract trace consumers rely on.
+func TestTraceTrialEventOrdering(t *testing.T) {
+	_, sink, err := TraceTrial(Config{}, workload.Minprog, core.ResidentSet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sink.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("event %d: seq %d not increasing after %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+// TestTraceTrialQuantiles: a pure-IOU Lisp-Del trial faults hundreds of
+// pages across the network, so the fault-latency quantiles must be
+// populated and ordered.
+func TestTraceTrialQuantiles(t *testing.T) {
+	tr, _, err := TraceTrial(Config{}, workload.LispDel, core.PureIOU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.FaultP50 <= 0 || tr.FaultP95 <= 0 || tr.FaultP99 <= 0 {
+		t.Fatalf("quantiles not populated: p50=%v p95=%v p99=%v", tr.FaultP50, tr.FaultP95, tr.FaultP99)
+	}
+	if tr.FaultP50 > tr.FaultP95 || tr.FaultP95 > tr.FaultP99 {
+		t.Errorf("quantiles out of order: p50=%v p95=%v p99=%v", tr.FaultP50, tr.FaultP95, tr.FaultP99)
+	}
+}
+
+// TestTrialUntracedHasNoSinkOverhead: without a sink the trial must
+// behave identically (nil-sink guard), pinning that tracing is opt-in.
+func TestTrialTracedMatchesUntraced(t *testing.T) {
+	plain, err := RunTrial(Config{}, workload.LispDel, core.PureIOU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, _, err := TraceTrial(Config{}, workload.LispDel, core.PureIOU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Report.Total != traced.Report.Total || plain.RemoteExec != traced.RemoteExec {
+		t.Errorf("tracing changed the simulation: %v/%v vs %v/%v",
+			plain.Report.Total, plain.RemoteExec, traced.Report.Total, traced.RemoteExec)
+	}
+	if plain.BytesTotal != traced.BytesTotal || plain.BytesFault != traced.BytesFault {
+		t.Errorf("tracing changed byte counts: %d/%d vs %d/%d",
+			plain.BytesTotal, plain.BytesFault, traced.BytesTotal, traced.BytesFault)
+	}
+}

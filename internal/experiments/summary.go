@@ -27,6 +27,11 @@ type Summary struct {
 	// PeakRateReductionPct: reduction in peak sustained transmission
 	// rate, IOU vs copy, for Lisp-Del. Paper: up to 66%.
 	PeakRateReductionPct float64
+
+	// Remote fault-resolution latency quantiles across the Lisp-Del
+	// pure-IOU trial (the fault-heaviest cell of the grid), from the
+	// recorder's log-bucketed histogram.
+	FaultP50, FaultP95, FaultP99 time.Duration
 }
 
 // Summarize computes the summary from a full grid (it must include
@@ -59,6 +64,7 @@ func Summarize(cfg Config, g *Grid, kinds []workload.Kind) (*Summary, error) {
 
 	if cp, iou := g.Cell(workload.LispDel, core.PureCopy, 0), g.Cell(workload.LispDel, core.PureIOU, 0); cp != nil && iou != nil {
 		s.PeakRateReductionPct = 100 * (1 - float64(iou.PeakRate)/float64(cp.PeakRate))
+		s.FaultP50, s.FaultP95, s.FaultP99 = iou.FaultP50, iou.FaultP95, iou.FaultP99
 	}
 	return s, nil
 }
@@ -117,5 +123,7 @@ func FormatSummary(s *Summary) string {
 	fmt.Fprintf(&b, "  local disk fault:                   %6.1fms (paper: 40.8ms)\n", s.DiskFault.Seconds()*1000)
 	fmt.Fprintf(&b, "  remote/local fault ratio:           %6.2f  (paper: 2.8)\n", s.FaultRatio)
 	fmt.Fprintf(&b, "  peak-rate reduction (Lisp-Del):     %5.1f%%  (paper: up to 66%%)\n", s.PeakRateReductionPct)
+	fmt.Fprintf(&b, "  remote fault latency p50/p95/p99:   %.1f / %.1f / %.1f ms (Lisp-Del IOU)\n",
+		s.FaultP50.Seconds()*1000, s.FaultP95.Seconds()*1000, s.FaultP99.Seconds()*1000)
 	return b.String()
 }

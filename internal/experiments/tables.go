@@ -60,7 +60,11 @@ type Row42 struct {
 	PctTotal float64
 }
 
-// Table42 measures resident sets at migration time.
+// Table42 measures resident sets at migration time: each
+// representative is run to its migration point and migrated under the
+// resident-set strategy (destination held), so the RS size is what the
+// excision actually collapsed as resident — the same quantity the
+// paper's instrumented migrations report.
 func Table42(cfg Config) ([]Row42, error) {
 	var rows []Row42
 	for _, k := range workload.Kinds() {
@@ -70,11 +74,26 @@ func Table42(cfg Config) ([]Row42, error) {
 			return nil, err
 		}
 		u := b.Proc.AS.Usage()
+		tb.Src.Start(b.Proc)
+		var rep *core.Report
+		var migErr error
+		tb.K.Go("driver", func(p *sim.Proc) {
+			rep, migErr = tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
+				Strategy:         core.ResidentSet,
+				WaitMigratePoint: true,
+				HoldAtDest:       true,
+			})
+		})
+		tb.K.Run()
+		if migErr != nil {
+			return nil, migErr
+		}
+		rs := uint64(rep.ResidentPages) * uint64(tb.Src.PageSize())
 		rows = append(rows, Row42{
 			Kind:     k,
-			RSSize:   u.Resident,
-			PctReal:  100 * float64(u.Resident) / float64(u.Real),
-			PctTotal: 100 * float64(u.Resident) / float64(u.Total),
+			RSSize:   rs,
+			PctReal:  100 * float64(rs) / float64(u.Real),
+			PctTotal: 100 * float64(rs) / float64(u.Total),
 		})
 	}
 	return rows, nil

@@ -12,6 +12,7 @@ import (
 	"accentmig/internal/machine"
 	"accentmig/internal/metrics"
 	"accentmig/internal/netlink"
+	"accentmig/internal/obs"
 	"accentmig/internal/pager"
 	"accentmig/internal/sim"
 	"accentmig/internal/vm"
@@ -24,6 +25,10 @@ type Config struct {
 	Machine machine.Config
 	Link    netlink.Config
 	Tuning  *core.Tuning // nil selects core.DefaultTuning
+
+	// Sink, when non-nil, receives the flight-recorder event stream of
+	// every kernel built from this config.
+	Sink obs.Sink
 }
 
 func (c Config) tuning() core.Tuning {
@@ -46,6 +51,9 @@ type Testbed struct {
 // NewTestbed assembles a fresh pair with a shared recorder.
 func NewTestbed(cfg Config) *Testbed {
 	k := sim.New()
+	if cfg.Sink != nil {
+		k.SetSink(cfg.Sink)
+	}
 	src := machine.New(k, "src", cfg.Machine)
 	dst := machine.New(k, "dst", cfg.Machine)
 	link := machine.Connect(src, dst, cfg.Link)
@@ -95,6 +103,15 @@ type TrialResult struct {
 	// that kind occurred).
 	RemoteFaultMean time.Duration
 	DiskFaultMean   time.Duration
+
+	// Remote (imaginary) fault-resolution latency quantiles from the
+	// recorder's log-bucketed histogram; zero if no remote faults
+	// occurred.
+	FaultP50, FaultP95, FaultP99 time.Duration
+
+	// Phases are the migration phase spans (excise, xfer.core,
+	// xfer.rimas, insert) the source manager recorded, sorted by start.
+	Phases []metrics.Phase
 
 	// ResidualPages is what the source still owes after completion.
 	ResidualPages int
@@ -170,6 +187,11 @@ func RunTrial(cfg Config, k workload.Kind, strat core.Strategy, prefetch int) (*
 	tr.DestPager = tb.Dst.Pager.Stats()
 	tr.RemoteFaultMean = tb.Rec.Dist("latency.fault.imag").Mean()
 	tr.DiskFaultMean = tb.Rec.Dist("latency.fault.disk").Mean()
+	imagDist := tb.Rec.Dist("latency.fault.imag")
+	tr.FaultP50 = imagDist.Quantile(0.50)
+	tr.FaultP95 = imagDist.Quantile(0.95)
+	tr.FaultP99 = imagDist.Quantile(0.99)
+	tr.Phases = tb.Rec.Phases()
 	if npr, ok := tb.Dst.Process(k.String()); ok {
 		tr.DestUsage = npr.AS.Usage()
 	}

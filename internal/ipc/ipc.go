@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"accentmig/internal/obs"
 	"accentmig/internal/sim"
 	"accentmig/internal/vm"
 )
@@ -276,6 +277,22 @@ func (s *System) transferCPU(m *Message) (time.Duration, bool) {
 // destination port is not local (the NetMsgServer's role).
 func (s *System) SetRouter(r Router) { s.router = r }
 
+// emitMsg records one message crossing the user/kernel boundary; cost
+// is the handling CPU just charged, ending at the current instant.
+func (s *System) emitMsg(kind obs.Kind, p *sim.Proc, m *Message, cost time.Duration) {
+	if !s.k.Tracing() {
+		return
+	}
+	s.k.Emit(obs.Event{
+		Kind:    kind,
+		Machine: s.name,
+		Proc:    p.Name(),
+		Op:      m.Op,
+		Bytes:   m.WireBytes(),
+		Dur:     cost,
+	})
+}
+
 // Send queues m on its destination port, charging the kernel's copy-in
 // cost against the machine CPU. A destination not present on this
 // machine is offered to the router (network transparency); with no
@@ -283,6 +300,7 @@ func (s *System) SetRouter(r Router) { s.router = r }
 func (s *System) Send(p *sim.Proc, m *Message) error {
 	xfer, copied := s.transferCPU(m)
 	s.cpu.UseHigh(p, s.cfg.PerMsgCPU+xfer)
+	s.emitMsg(obs.MsgSend, p, m, s.cfg.PerMsgCPU+xfer)
 	dst, ok := s.ports[m.To]
 	if !ok || dst.dead {
 		if s.router != nil && s.router(m) {
@@ -312,6 +330,7 @@ func (s *System) Receive(p *sim.Proc, port *Port) *Message {
 	m := port.queue.Pop(p)
 	xfer, _ := s.transferCPU(m)
 	s.cpu.UseHigh(p, s.cfg.PerMsgCPU+xfer)
+	s.emitMsg(obs.MsgRecv, p, m, s.cfg.PerMsgCPU+xfer)
 	s.receives++
 	return m
 }
@@ -325,6 +344,7 @@ func (s *System) ReceiveTimeout(p *sim.Proc, port *Port, d time.Duration) (*Mess
 	}
 	xfer, _ := s.transferCPU(m)
 	s.cpu.UseHigh(p, s.cfg.PerMsgCPU+xfer)
+	s.emitMsg(obs.MsgRecv, p, m, s.cfg.PerMsgCPU+xfer)
 	s.receives++
 	return m, true
 }

@@ -14,6 +14,7 @@ import (
 	"accentmig/internal/metrics"
 	"accentmig/internal/netlink"
 	"accentmig/internal/netmsg"
+	"accentmig/internal/obs"
 	"accentmig/internal/pager"
 	"accentmig/internal/sim"
 	"accentmig/internal/trace"
@@ -134,6 +135,7 @@ type Machine struct {
 	Net   *netmsg.Server
 
 	cfg   Config
+	rec   *metrics.Recorder
 	procs map[string]*Process
 }
 
@@ -172,10 +174,33 @@ func Connect(a, b *Machine, cfg netlink.Config) *netlink.Link {
 // PageSize reports the machine's page size.
 func (m *Machine) PageSize() int { return m.cfg.PageSize }
 
-// SetRecorder points the machine's metric producers at rec.
+// SetRecorder points the machine's metric producers at rec. CPU
+// scheduling waits feed the recorder's "wait.cpu" distribution.
 func (m *Machine) SetRecorder(rec *metrics.Recorder) {
+	m.rec = rec
 	m.Pager.SetRecorder(rec)
 	m.Net.SetRecorder(rec)
+	if rec == nil {
+		m.CPU.SetWaitObserver(nil)
+		return
+	}
+	m.CPU.SetWaitObserver(func(d time.Duration) { rec.Observe("wait.cpu", d) })
+}
+
+// Recorder returns the active recorder, possibly nil.
+func (m *Machine) Recorder() *metrics.Recorder { return m.rec }
+
+// emitState records a process lifecycle transition in the flight
+// recorder.
+func (m *Machine) emitState(pr *Process, state string) {
+	if m.K.Tracing() {
+		m.K.Emit(obs.Event{
+			Kind:    obs.StateChange,
+			Machine: m.Name,
+			Proc:    pr.Name,
+			Name:    state,
+		})
+	}
 }
 
 // NewProcess creates an empty process resident on this machine with a
@@ -245,15 +270,18 @@ func (m *Machine) ProcNames() []string {
 // AtMigrate; on completion it opens Done.
 func (m *Machine) Start(pr *Process) {
 	pr.Status = Running
+	m.emitState(pr, Running.String())
 	m.K.Go(m.Name+"."+pr.Name, func(p *sim.Proc) {
 		if err := m.exec(p, pr); err != nil {
 			pr.ExecError = err
 			pr.Status = Finished
+			m.emitState(pr, Finished.String())
 			pr.Done.Open()
 			return
 		}
 		if pr.Status == Running {
 			pr.Status = Finished
+			m.emitState(pr, Finished.String())
 			pr.Done.Open()
 		}
 	})
@@ -286,6 +314,7 @@ func (m *Machine) exec(p *sim.Proc, pr *Process) error {
 		if pr.preempt {
 			pr.preempt = false
 			pr.Status = AtMigrationPoint
+			m.emitState(pr, AtMigrationPoint.String())
 			pr.AtMigrate.Open()
 			return nil
 		}
@@ -336,6 +365,7 @@ func (m *Machine) exec(p *sim.Proc, pr *Process) error {
 			}
 		case trace.MigratePoint:
 			pr.Status = AtMigrationPoint
+			m.emitState(pr, AtMigrationPoint.String())
 			pr.AtMigrate.Open()
 			return nil
 		default:

@@ -10,11 +10,20 @@ package metrics
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 )
 
 // Recorder collects the measurements of one migration trial.
+//
+// Recorder is single-goroutine by design: the simulation kernel runs
+// exactly one Proc at a time (see package sim), so every producer —
+// pager, link, NetMsgServer, migration manager — records from what is
+// effectively one thread of control, and Recorder uses no locks. Code
+// that records from multiple OS goroutines concurrently (e.g. trials
+// running on separate kernels feeding one aggregate) must wrap it in a
+// SyncRecorder instead.
 type Recorder struct {
 	bucket  time.Duration
 	buckets map[int64]*rateBucket
@@ -109,14 +118,58 @@ func (r *Recorder) AddMessageTime(cpu time.Duration) { r.msgTime += cpu }
 func (r *Recorder) Inc(name string, delta uint64) { r.counters[name] += delta }
 
 // Observe records one sample of a named duration distribution (fault
-// latencies, queue waits). Aggregates only — count/sum/min/max — so
-// recording is O(1).
+// latencies, queue waits). Recording is O(1): besides count/sum/min/max
+// the sample lands in one log-bucketed histogram cell, from which
+// Quantile reconstructs p50/p95/p99 within ~6% relative error.
 func (r *Recorder) Observe(name string, v time.Duration) {
 	d := r.dists[name]
 	if d == nil {
 		d = &Distribution{Min: v, Max: v}
 		r.dists[name] = d
 	}
+	d.add(v)
+}
+
+// Log-linear histogram layout (HDR-histogram style): values below 8 ns
+// get exact unit buckets; above that, each power of two is split into
+// 2^histSubBits = 8 sub-buckets, bounding relative error by 1/8.
+const histSubBits = 3
+
+// histIndex maps a non-negative sample to its bucket.
+func histIndex(v uint64) int {
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	top := v >> (uint(exp) - histSubBits) // in [8, 15]
+	return (1 << histSubBits) + (exp-histSubBits)*(1<<histSubBits) + int(top) - (1 << histSubBits)
+}
+
+// histMid is the representative (midpoint) value of bucket idx.
+func histMid(idx int) uint64 {
+	if idx < 1<<histSubBits {
+		return uint64(idx)
+	}
+	e := (idx - (1 << histSubBits)) / (1 << histSubBits)
+	rem := (idx - (1 << histSubBits)) % (1 << histSubBits)
+	exp := e + histSubBits
+	lo := uint64(rem+(1<<histSubBits)) << (uint(exp) - histSubBits)
+	width := uint64(1) << (uint(exp) - histSubBits)
+	return lo + width/2
+}
+
+// Distribution summarizes observed samples: exact count/sum/min/max
+// plus a log-bucketed histogram supporting approximate quantiles.
+type Distribution struct {
+	Count uint64
+	Sum   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+
+	hist []uint64
+}
+
+func (d *Distribution) add(v time.Duration) {
 	d.Count++
 	d.Sum += v
 	if v < d.Min {
@@ -125,14 +178,17 @@ func (r *Recorder) Observe(name string, v time.Duration) {
 	if v > d.Max {
 		d.Max = v
 	}
-}
-
-// Distribution summarizes observed samples.
-type Distribution struct {
-	Count uint64
-	Sum   time.Duration
-	Min   time.Duration
-	Max   time.Duration
+	u := uint64(0)
+	if v > 0 {
+		u = uint64(v)
+	}
+	idx := histIndex(u)
+	if idx >= len(d.hist) {
+		grown := make([]uint64, idx+1)
+		copy(grown, d.hist)
+		d.hist = grown
+	}
+	d.hist[idx]++
 }
 
 // Mean reports the average sample, or zero with no samples.
@@ -141,6 +197,41 @@ func (d *Distribution) Mean() time.Duration {
 		return 0
 	}
 	return d.Sum / time.Duration(d.Count)
+}
+
+// Quantile reports the approximate q-quantile (q in [0, 1]) from the
+// histogram: the midpoint of the bucket holding the ceil(q*Count)-th
+// smallest sample, clamped to the exact [Min, Max] envelope. Zero with
+// no samples.
+func (d *Distribution) Quantile(q float64) time.Duration {
+	if d == nil || d.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.Min
+	}
+	if q >= 1 {
+		return d.Max
+	}
+	rank := uint64(q * float64(d.Count))
+	if rank >= d.Count {
+		rank = d.Count - 1
+	}
+	var seen uint64
+	for idx, n := range d.hist {
+		seen += n
+		if seen > rank {
+			v := time.Duration(histMid(idx))
+			if v < d.Min {
+				v = d.Min
+			}
+			if v > d.Max {
+				v = d.Max
+			}
+			return v
+		}
+	}
+	return d.Max
 }
 
 // Dist returns the named distribution, possibly nil.

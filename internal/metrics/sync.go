@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// SyncRecorder is a mutex-guarded wrapper around Recorder for the rare
+// producers that record from multiple OS goroutines — e.g. independent
+// trial kernels running on separate goroutines feeding one aggregate
+// recorder. Within a single simulation kernel the plain Recorder is
+// sufficient (and faster); see the Recorder doc comment.
+type SyncRecorder struct {
+	mu sync.Mutex
+	r  *Recorder
+}
+
+// NewSyncRecorder wraps a fresh Recorder with the given rate-bucket
+// width.
+func NewSyncRecorder(bucket time.Duration) *SyncRecorder {
+	return &SyncRecorder{r: NewRecorder(bucket)}
+}
+
+// AddBytes records n bytes crossing the network at virtual time at.
+func (s *SyncRecorder) AddBytes(at time.Duration, n int, fault bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.AddBytes(at, n, fault)
+}
+
+// AddMessage records one IPC message costing cpu of handling time.
+func (s *SyncRecorder) AddMessage(cpu time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.AddMessage(cpu)
+}
+
+// AddMessageTime adds handling time without bumping the message count.
+func (s *SyncRecorder) AddMessageTime(cpu time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.AddMessageTime(cpu)
+}
+
+// Inc bumps a named counter.
+func (s *SyncRecorder) Inc(name string, delta uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.Inc(name, delta)
+}
+
+// Observe records one duration sample.
+func (s *SyncRecorder) Observe(name string, v time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.Observe(name, v)
+}
+
+// StartPhase opens a named phase.
+func (s *SyncRecorder) StartPhase(name string, at time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.StartPhase(name, at)
+}
+
+// EndPhase closes a named phase.
+func (s *SyncRecorder) EndPhase(name string, at time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.EndPhase(name, at)
+}
+
+// Dist returns a snapshot copy of the named distribution (nil if it
+// does not exist). Unlike Recorder.Dist, the caller gets an isolated
+// copy: the live histogram keeps changing under its own lock.
+func (s *SyncRecorder) Dist(name string) *Distribution {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.r.Dist(name)
+	if d == nil {
+		return nil
+	}
+	cp := *d
+	cp.hist = append([]uint64(nil), d.hist...)
+	return &cp
+}
+
+// Counter reads a named counter.
+func (s *SyncRecorder) Counter(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Counter(name)
+}
+
+// Counters returns a copy of all named counters.
+func (s *SyncRecorder) Counters() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Counters()
+}
+
+// BytesTotal reports all bytes recorded.
+func (s *SyncRecorder) BytesTotal() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.BytesTotal()
+}
+
+// BytesFault reports fault-support bytes.
+func (s *SyncRecorder) BytesFault() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.BytesFault()
+}
+
+// Messages reports the recorded message count.
+func (s *SyncRecorder) Messages() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Messages()
+}
+
+// MessageTime reports total message-handling CPU time.
+func (s *SyncRecorder) MessageTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.MessageTime()
+}
+
+// PhaseElapsed reports the elapsed time of a closed named phase.
+func (s *SyncRecorder) PhaseElapsed(name string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.PhaseElapsed(name)
+}
+
+// Phases returns all closed phases sorted by start time.
+func (s *SyncRecorder) Phases() []Phase {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Phases()
+}
+
+// Series returns the byte-rate time series.
+func (s *SyncRecorder) Series() []RatePoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Series()
+}
+
+// PeakRate reports the largest per-bucket byte count.
+func (s *SyncRecorder) PeakRate() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.PeakRate()
+}

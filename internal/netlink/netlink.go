@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"accentmig/internal/metrics"
+	"accentmig/internal/obs"
 	"accentmig/internal/sim"
 	"accentmig/internal/xrand"
 )
@@ -42,6 +43,7 @@ func (c Config) withDefaults() Config {
 type Link struct {
 	cfg  Config
 	k    *sim.Kernel
+	name string
 	wire *sim.Resource
 	rng  *xrand.RNG
 	rec  *metrics.Recorder
@@ -57,13 +59,22 @@ func New(k *sim.Kernel, name string, cfg Config) *Link {
 	return &Link{
 		cfg:  cfg,
 		k:    k,
+		name: name,
 		wire: sim.NewResource(k, name+".wire", 1),
 		rng:  xrand.New(cfg.DropSeed),
 	}
 }
 
 // SetRecorder directs byte accounting to rec (may be nil to disable).
-func (l *Link) SetRecorder(rec *metrics.Recorder) { l.rec = rec }
+// Wire-contention waits feed the recorder's "wait.wire" distribution.
+func (l *Link) SetRecorder(rec *metrics.Recorder) {
+	l.rec = rec
+	if rec == nil {
+		l.wire.SetWaitObserver(nil)
+		return
+	}
+	l.wire.SetWaitObserver(func(d time.Duration) { rec.Observe("wait.wire", d) })
+}
 
 // Recorder returns the active recorder, possibly nil.
 func (l *Link) Recorder() *metrics.Recorder { return l.rec }
@@ -73,6 +84,7 @@ func (l *Link) Recorder() *metrics.Recorder { return l.rec }
 // charged to the recorder either way — a dropped frame still burned
 // bandwidth. fault marks imaginary-fault support traffic.
 func (l *Link) Transmit(p *sim.Proc, n int, fault bool) bool {
+	start := l.k.Now()
 	l.wire.Acquire(p)
 	p.Sleep(time.Duration(n) * time.Second / time.Duration(l.cfg.BytesPerSecond))
 	l.wire.Release()
@@ -81,6 +93,20 @@ func (l *Link) Transmit(p *sim.Proc, n int, fault bool) bool {
 	l.bytesMove += uint64(n)
 	if l.rec != nil {
 		l.rec.AddBytes(p.Now(), n, fault)
+	}
+	if l.k.Tracing() {
+		name := "xmit"
+		if fault {
+			name = "xmit.fault"
+		}
+		l.k.Emit(obs.Event{
+			Kind:    obs.LinkXmit,
+			Machine: l.name,
+			Proc:    p.Name(),
+			Name:    name,
+			Bytes:   n,
+			Dur:     l.k.Now() - start,
+		})
 	}
 	if l.cfg.DropProb > 0 && l.rng.Float64() < l.cfg.DropProb {
 		l.drops++

@@ -15,6 +15,7 @@ import (
 	"accentmig/internal/ipc"
 	"accentmig/internal/metrics"
 	"accentmig/internal/netlink"
+	"accentmig/internal/obs"
 	"accentmig/internal/sim"
 	"accentmig/internal/wire"
 )
@@ -213,15 +214,28 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 
 	// Account physically shipped data pages (Table 4-3's transferred
 	// fraction).
-	if s.rec != nil {
-		dataPages := 0
+	if s.rec != nil || s.k.Tracing() {
+		dataPages, dataBytes := 0, 0
 		for _, a := range m.Mem {
 			if a.Kind == ipc.AttachData {
 				dataPages += len(a.Pages)
+				dataBytes += a.DataBytes()
 			}
 		}
 		if dataPages > 0 {
-			s.rec.Inc("pages.shipped.data", uint64(dataPages))
+			if s.rec != nil {
+				s.rec.Inc("pages.shipped.data", uint64(dataPages))
+			}
+			if s.k.Tracing() {
+				s.k.Emit(obs.Event{
+					Kind:    obs.PageTransfer,
+					Machine: s.name,
+					Proc:    p.Name(),
+					Name:    "data",
+					Bytes:   dataBytes,
+					Op:      m.Op,
+				})
+			}
 		}
 	}
 
@@ -372,6 +386,16 @@ func (s *Server) backer(p *sim.Proc) {
 			s.stats.Served++
 			if s.rec != nil {
 				s.rec.Inc("pages.shipped.fault", uint64(len(rep.Pages)))
+			}
+			if s.k.Tracing() {
+				s.k.Emit(obs.Event{
+					Kind:    obs.PageTransfer,
+					Machine: s.name,
+					Proc:    p.Name(),
+					Name:    "fault",
+					Bytes:   rep.Bytes(),
+					Op:      imag.OpReadReply,
+				})
 			}
 			s.reply(p, m, imag.OpReadReply, rep)
 		case imag.OpFlush:

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeSink streams events in the Chrome trace-event format (the JSON
+// object form, loadable in Perfetto and chrome://tracing). Machines map
+// to trace processes and simulated processes to threads; timestamps are
+// virtual time in microseconds. Events with a duration become complete
+// ("X") slices covering [T-Dur, T]; PhaseBegin/PhaseEnd become B/E
+// span pairs; everything else becomes a thread-scoped instant.
+type ChromeSink struct {
+	w     *bufio.Writer
+	err   error
+	first bool
+
+	pids    map[string]int      // machine -> pid
+	pidList []string            // pid-1 -> machine (emission order)
+	tids    map[string]int      // machine\x00proc -> tid
+	tidList []chromeThreadEntry // emission order
+}
+
+type chromeThreadEntry struct {
+	pid  int
+	tid  int
+	name string
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewChromeSink returns a sink writing to w. Call Close to finish the
+// JSON document; the file is not valid JSON until then.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{
+		w:     bufio.NewWriterSize(w, 1<<16),
+		first: true,
+		pids:  make(map[string]int),
+		tids:  make(map[string]int),
+	}
+	_, s.err = s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	return s
+}
+
+// pid assigns (or finds) the trace process id for a machine.
+func (s *ChromeSink) pid(machine string) int {
+	if machine == "" {
+		machine = "sim"
+	}
+	if id, ok := s.pids[machine]; ok {
+		return id
+	}
+	id := len(s.pidList) + 1
+	s.pids[machine] = id
+	s.pidList = append(s.pidList, machine)
+	return id
+}
+
+// tid assigns (or finds) the thread id for a proc within a machine.
+// The empty proc — kernel-context emission — is thread 0.
+func (s *ChromeSink) tid(pid int, proc string) int {
+	key := fmt.Sprintf("%d\x00%s", pid, proc)
+	if id, ok := s.tids[key]; ok {
+		return id
+	}
+	id := 0
+	name := "kernel"
+	if proc != "" {
+		id = len(s.tidList) + 1
+		name = proc
+	}
+	s.tids[key] = id
+	s.tidList = append(s.tidList, chromeThreadEntry{pid: pid, tid: id, name: name})
+	return id
+}
+
+const usPerNs = 1e-3
+
+// Emit streams one event.
+func (s *ChromeSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	pid := s.pid(ev.Machine)
+	tid := s.tid(pid, ev.Proc)
+	ce := chromeEvent{
+		Name: ev.Name,
+		Cat:  ev.Kind.String(),
+		Ts:   float64(ev.T) * usPerNs,
+		Pid:  pid,
+		Tid:  tid,
+	}
+	if ce.Name == "" {
+		ce.Name = ev.Kind.String()
+	}
+	switch {
+	case ev.Kind == PhaseBegin:
+		ce.Ph = "B"
+	case ev.Kind == PhaseEnd:
+		ce.Ph = "E"
+	case ev.Dur > 0:
+		ce.Ph = "X"
+		ce.Ts = float64(ev.T-ev.Dur) * usPerNs
+		ce.Dur = float64(ev.Dur) * usPerNs
+	default:
+		ce.Ph = "i"
+		ce.S = "t"
+	}
+	args := make(map[string]any, 4)
+	if ev.Bytes != 0 {
+		args["bytes"] = ev.Bytes
+	}
+	if ev.Addr != 0 {
+		args["addr"] = fmt.Sprintf("%#x", ev.Addr)
+	}
+	if ev.Op != 0 {
+		args["op"] = fmt.Sprintf("%#x", ev.Op)
+	}
+	if len(args) > 0 {
+		ce.Args = args
+	}
+	s.write(ce)
+}
+
+func (s *ChromeSink) write(ce chromeEvent) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(ce)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if !s.first {
+		if _, s.err = s.w.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	s.first = false
+	_, s.err = s.w.Write(b)
+}
+
+// Close appends the process/thread name metadata and terminates the
+// JSON document, reporting the first error encountered.
+func (s *ChromeSink) Close() error {
+	for i, machine := range s.pidList {
+		s.write(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]any{"name": machine},
+		})
+	}
+	for _, te := range s.tidList {
+		s.write(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: te.pid, Tid: te.tid,
+			Args: map[string]any{"name": te.name},
+		})
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if _, s.err = s.w.WriteString("\n]}\n"); s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the wire form of one JSONL record. Times are integer
+// nanoseconds of virtual time.
+type jsonlEvent struct {
+	T       int64  `json:"t"`
+	Seq     uint64 `json:"seq"`
+	Kind    string `json:"kind"`
+	Machine string `json:"machine,omitempty"`
+	Proc    string `json:"proc,omitempty"`
+	Name    string `json:"name,omitempty"`
+	Addr    uint64 `json:"addr,omitempty"`
+	Bytes   int    `json:"bytes,omitempty"`
+	Dur     int64  `json:"dur,omitempty"`
+	Op      int    `json:"op,omitempty"`
+}
+
+// JSONLSink streams events as one JSON object per line. Events appear
+// in emission order, which is virtual-time order except for phase
+// records reconstructed after the fact (PhaseBegin/PhaseEnd carry their
+// true T); consumers that need strict time order should sort on t.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing to w. Call Close to flush.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one line. Write errors are sticky and surfaced by Close.
+func (s *JSONLSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(jsonlEvent{
+		T:       int64(ev.T),
+		Seq:     ev.Seq,
+		Kind:    ev.Kind.String(),
+		Machine: ev.Machine,
+		Proc:    ev.Proc,
+		Name:    ev.Name,
+		Addr:    ev.Addr,
+		Bytes:   ev.Bytes,
+		Dur:     int64(ev.Dur),
+		Op:      ev.Op,
+	})
+}
+
+// Close flushes buffered output and reports the first write error.
+func (s *JSONLSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

@@ -20,6 +20,7 @@ import (
 	"accentmig/internal/imag"
 	"accentmig/internal/ipc"
 	"accentmig/internal/metrics"
+	"accentmig/internal/obs"
 	"accentmig/internal/sim"
 	"accentmig/internal/vm"
 )
@@ -163,6 +164,34 @@ func (pg *Pager) observe(name string, v time.Duration) {
 	}
 }
 
+// faultStart opens a fault span in the flight recorder; kind is the
+// fault class (fillzero, disk, imag).
+func (pg *Pager) faultStart(p *sim.Proc, kind string, addr vm.Addr) {
+	if pg.k.Tracing() {
+		pg.k.Emit(obs.Event{
+			Kind:    obs.FaultStart,
+			Machine: pg.name,
+			Proc:    p.Name(),
+			Name:    kind,
+			Addr:    uint64(addr),
+		})
+	}
+}
+
+// faultResolved closes a fault span; Dur is the resolution latency.
+func (pg *Pager) faultResolved(p *sim.Proc, kind string, addr vm.Addr, start time.Duration) {
+	if pg.k.Tracing() {
+		pg.k.Emit(obs.Event{
+			Kind:    obs.FaultResolved,
+			Machine: pg.name,
+			Proc:    p.Name(),
+			Name:    kind,
+			Addr:    uint64(addr),
+			Dur:     p.Now() - start,
+		})
+	}
+}
+
 // Touch makes the page under addr resident, faulting as needed, and
 // updates LRU. write additionally marks the page dirty (performing any
 // deferred COW copy). This is the MMU+fault path every simulated memory
@@ -178,27 +207,35 @@ func (pg *Pager) Touch(p *sim.Proc, as *vm.AddressSpace, addr vm.Addr, write boo
 	switch {
 	case page == nil && pl.Seg.Class == vm.ImagSeg:
 		start := p.Now()
+		pg.faultStart(p, "imag", addr)
 		if err := pg.imagFault(p, pl); err != nil {
 			return err
 		}
 		pg.observe("latency.fault.imag", p.Now()-start)
+		pg.faultResolved(p, "imag", addr, start)
 	case page == nil:
 		// FillZero: conjure a zero frame; never touches the disk.
+		start := p.Now()
+		pg.faultStart(p, "fillzero", addr)
 		pg.cpu.UseHigh(p, pg.cfg.FillZeroCPU)
 		pl.Seg.MaterializeZero(pl.PageIdx)
 		pg.insert(pl.Seg, pl.PageIdx)
 		pg.stats.FillZero++
 		pg.inc("fault.fillzero")
+		pg.observe("latency.fault.fillzero", p.Now()-start)
+		pg.faultResolved(p, "fillzero", addr, start)
 	case page.State.Resident:
 		pg.phys.Touch(pl.Seg, pl.PageIdx)
 	case page.State.OnDisk:
 		start := p.Now()
+		pg.faultStart(p, "disk", addr)
 		pg.cpu.UseHigh(p, pg.cfg.FaultCPU)
 		pg.dsk.Read(p, as.PageSize())
 		pg.insert(pl.Seg, pl.PageIdx)
 		pg.stats.DiskFaults++
 		pg.inc("fault.disk")
 		pg.observe("latency.fault.disk", p.Now()-start)
+		pg.faultResolved(p, "disk", addr, start)
 	default:
 		// Materialized, not resident, not on disk: data just arrived in
 		// a message; only the mapping is missing (§2.3's cheap RealMem
@@ -252,6 +289,15 @@ func (pg *Pager) Write(p *sim.Proc, as *vm.AddressSpace, addr vm.Addr, data []by
 // (core.InsertProcess): the page becomes resident and dirty evictees
 // are written back in the background.
 func (pg *Pager) Install(seg *vm.Segment, idx uint64) {
+	if pg.k.Tracing() {
+		pg.k.Emit(obs.Event{
+			Kind:    obs.PageTransfer,
+			Machine: pg.name,
+			Name:    "install",
+			Addr:    uint64(idx),
+			Bytes:   seg.PageSize(),
+		})
+	}
 	pg.insert(seg, idx)
 }
 

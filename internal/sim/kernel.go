@@ -15,7 +15,10 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"strings"
 	"time"
+
+	"accentmig/internal/obs"
 )
 
 // Kernel is a discrete-event simulation executive. The zero value is not
@@ -36,6 +39,9 @@ type Kernel struct {
 	stopped  bool
 	deadline time.Duration
 	hasDL    bool
+
+	sink  obs.Sink
+	evSeq uint64
 }
 
 // New returns an empty kernel with the clock at zero.
@@ -49,6 +55,41 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // EventsRun reports how many events have been dispatched so far. It is
 // useful in tests as a cheap progress/forward-motion check.
 func (k *Kernel) EventsRun() uint64 { return k.ran }
+
+// SetSink installs (or with nil removes) the flight-recorder sink.
+// Every emission point in the simulation stack is guarded by Tracing,
+// so a nil sink costs one pointer comparison on the hot path.
+func (k *Kernel) SetSink(s obs.Sink) { k.sink = s }
+
+// Tracing reports whether a flight-recorder sink is installed. Callers
+// with any per-event assembly cost (WireBytes sums, name splits) should
+// check it before building the event.
+func (k *Kernel) Tracing() bool { return k.sink != nil }
+
+// Emit stamps ev with the current virtual time and a sequence number
+// and delivers it to the sink, if any.
+func (k *Kernel) Emit(ev obs.Event) { k.EmitAt(k.now, ev) }
+
+// EmitAt is Emit with an explicit timestamp, for events reconstructed
+// after the fact (e.g. phase spans known only once an ack arrives).
+func (k *Kernel) EmitAt(t time.Duration, ev obs.Event) {
+	if k.sink == nil {
+		return
+	}
+	ev.T = t
+	ev.Seq = k.evSeq
+	k.evSeq++
+	k.sink.Emit(ev)
+}
+
+// machineOf derives the owning machine from a dotted component name
+// ("src.cpu" -> "src"); names with no dot have no machine.
+func machineOf(name string) string {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i]
+	}
+	return ""
+}
 
 // Schedule arranges for fn to run at Now()+d in kernel (callback)
 // context. A negative delay is treated as zero. Events scheduled for the

@@ -1,6 +1,10 @@
 package sim
 
-import "time"
+import (
+	"time"
+
+	"accentmig/internal/obs"
+)
 
 // Resource is a counted semaphore with two-class priority admission
 // (FIFO within each class), used to model contended hardware such as a
@@ -18,6 +22,10 @@ type Resource struct {
 	busy      time.Duration // total time units of held capacity
 	lastStamp time.Duration
 	acquires  uint64
+
+	// waitObs, when set, receives every nonzero queueing delay (wired
+	// to a metrics recorder for queue-wait tail distributions).
+	waitObs func(time.Duration)
 }
 
 type resWaiter struct {
@@ -83,8 +91,16 @@ func (r *Resource) Acquire(p *Proc) { r.acquire(p, false) }
 // ahead of all normal-priority waiters.
 func (r *Resource) AcquireHigh(p *Proc) { r.acquire(p, true) }
 
+// SetWaitObserver installs (or with nil removes) the queue-wait
+// callback, invoked with every nonzero delay spent blocked in Acquire.
+func (r *Resource) SetWaitObserver(fn func(time.Duration)) { r.waitObs = fn }
+
 func (r *Resource) acquire(p *Proc, high bool) {
+	waitStart := time.Duration(-1)
 	for r.inUse >= r.capacity {
+		if waitStart < 0 {
+			waitStart = r.k.now
+		}
 		w := &resWaiter{p: p, high: high}
 		r.enqueue(w)
 		p.park()
@@ -93,6 +109,7 @@ func (r *Resource) acquire(p *Proc, high bool) {
 			// releaser that immediately re-acquires must queue behind
 			// this grant). inUse was never decremented.
 			r.acquires++
+			r.observeWait(p, waitStart)
 			return
 		}
 		// Spurious wakeup; retry.
@@ -100,6 +117,31 @@ func (r *Resource) acquire(p *Proc, high bool) {
 	r.account()
 	r.inUse++
 	r.acquires++
+	r.observeWait(p, waitStart)
+}
+
+// observeWait reports the queueing delay since waitStart (negative:
+// none) to the wait observer and the flight recorder.
+func (r *Resource) observeWait(p *Proc, waitStart time.Duration) {
+	if waitStart < 0 {
+		return
+	}
+	d := r.k.now - waitStart
+	if d <= 0 {
+		return
+	}
+	if r.waitObs != nil {
+		r.waitObs(d)
+	}
+	if r.k.Tracing() {
+		r.k.Emit(obs.Event{
+			Kind:    obs.QueueWait,
+			Machine: machineOf(r.name),
+			Proc:    p.name,
+			Name:    r.name,
+			Dur:     d,
+		})
+	}
 }
 
 // Release returns one unit and wakes the longest-waiting proc, if any.

@@ -11,8 +11,31 @@ type RNG struct {
 	state uint64
 }
 
-// New returns a generator with the given seed.
-func New(seed uint64) *RNG { return &RNG{state: seed} }
+// baseSeed perturbs every generator created by New, so one process-wide
+// knob (-seed on cmd/migsim) re-randomizes all derived streams at once.
+// The default 0 leaves New(seed) == seed, preserving the calibrated
+// reference traces bit-for-bit.
+var baseSeed uint64
+
+// SetBaseSeed installs the process-wide seed perturbation. Call it
+// before building any workloads; changing it mid-simulation would
+// decouple streams created before and after.
+func SetBaseSeed(s uint64) { baseSeed = mix64(s) }
+
+// BaseSeed reports the active perturbation (post-mix).
+func BaseSeed() uint64 { return baseSeed }
+
+// mix64 is the splitmix64 finalizer; mix64(0) == 0, which is what keeps
+// the default base seed a no-op.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator with the given seed, perturbed by the
+// process-wide base seed (a no-op unless SetBaseSeed was called).
+func New(seed uint64) *RNG { return &RNG{state: seed ^ baseSeed} }
 
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
