@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check report clean
+.PHONY: all build test race vet check report bench clean
 
 all: build
 
@@ -21,6 +21,11 @@ check: build vet test race
 # Regenerate the measured side of EXPERIMENTS.md.
 report:
 	$(GO) run ./cmd/migreport > EXPERIMENTS.md
+
+# Regenerate the simulator-performance baseline (per-cell wall-clock
+# plus sequential-vs-engine sweep timings).
+bench:
+	$(GO) run ./cmd/migbench -o BENCH_grid.json
 
 clean:
 	$(GO) clean ./...

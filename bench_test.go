@@ -198,6 +198,31 @@ func BenchmarkFigure45(b *testing.B) {
 	}
 }
 
+// BenchmarkGridSweepSeq runs the full three-workload grid strictly
+// sequentially with no cache — the reference cost of one sweep.
+func BenchmarkGridSweepSeq(b *testing.B) {
+	kinds := []workload.Kind{workload.Minprog, workload.LispDel, workload.Chess}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGridSeq(experiments.Config{}, kinds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSweepEngine runs the same grid through the trial engine
+// (worker pool, cold cache each op) for a like-for-like comparison
+// with BenchmarkGridSweepSeq.
+func BenchmarkGridSweepEngine(b *testing.B) {
+	kinds := []workload.Kind{workload.Minprog, workload.LispDel, workload.Chess}
+	e := experiments.NewEngine(0)
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		if _, err := e.RunGrid(experiments.Config{}, kinds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSummary regenerates the §4.5 aggregates.
 func BenchmarkSummary(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,142 @@
+// Command migbench measures the simulator's own performance over the
+// paper's evaluation grid and writes a machine-readable baseline
+// (BENCH_grid.json by default), so the repository carries a perf
+// trajectory from PR to PR.
+//
+// For every (workload, strategy, prefetch) cell it runs one uncached
+// trial and records the host wall-clock cost of simulating it alongside
+// the simulation-side metrics (bytes on the simulated wire, simulated
+// message-handling seconds, simulated transfer and remote-execution
+// times). It then sweeps the whole grid twice more — once strictly
+// sequentially, once through the parallel engine on a fresh cache — and
+// reports the end-to-end speedup.
+//
+// Usage:
+//
+//	migbench                 # full grid -> BENCH_grid.json
+//	migbench -o out.json -kinds Minprog,Chess -parallel 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"accentmig/internal/experiments"
+	"accentmig/internal/workload"
+)
+
+// Cell is one grid cell's measured cost.
+type Cell struct {
+	Kind     string  `json:"kind"`
+	Strategy string  `json:"strategy"`
+	Prefetch int     `json:"prefetch"`
+	WallMS   float64 `json:"wall_ms"`    // host time to simulate the cell
+	SimBytes uint64  `json:"sim_bytes"`  // bytes on the simulated wire
+	SimMsgS  float64 `json:"sim_msg_s"`  // simulated message-handling seconds
+	SimXferS float64 `json:"sim_xfer_s"` // simulated RIMAS transfer seconds
+	SimExecS float64 `json:"sim_exec_s"` // simulated remote-execution seconds
+}
+
+// Baseline is the whole report.
+type Baseline struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Cells      int     `json:"cells"`
+	SeqWallS   float64 `json:"grid_seq_wall_s"`      // sequential sweep, no cache
+	ParWallS   float64 `json:"grid_parallel_wall_s"` // engine sweep, fresh cache
+	Speedup    float64 `json:"grid_speedup"`
+	Grid       []Cell  `json:"grid"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_grid.json", "output file")
+	kindsFlag := flag.String("kinds", "", "comma-separated workload filter (default: all seven)")
+	parallel := flag.Int("parallel", 0, "engine worker-pool width (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	kinds, err := parseKinds(*kindsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := experiments.Config{}
+	keys := experiments.GridKeys(kinds)
+	b := Baseline{GOMAXPROCS: runtime.GOMAXPROCS(0), Cells: len(keys)}
+
+	// Per-cell wall-clock, measured on one core with no cache in play.
+	seqStart := time.Now()
+	for _, key := range keys {
+		cellStart := time.Now()
+		tr, err := experiments.RunTrial(cfg, key.Kind, key.Strategy, key.Prefetch)
+		if err != nil {
+			fatal(err)
+		}
+		b.Grid = append(b.Grid, Cell{
+			Kind:     key.Kind.String(),
+			Strategy: key.Strategy.String(),
+			Prefetch: key.Prefetch,
+			WallMS:   float64(time.Since(cellStart).Nanoseconds()) / 1e6,
+			SimBytes: tr.BytesTotal,
+			SimMsgS:  tr.MsgTime.Seconds(),
+			SimXferS: tr.Report.RIMASTransfer.Seconds(),
+			SimExecS: tr.RemoteExec.Seconds(),
+		})
+	}
+	b.SeqWallS = time.Since(seqStart).Seconds()
+
+	// Whole-sweep comparison: fresh engine so nothing is pre-cached.
+	eng := experiments.NewEngine(*parallel)
+	b.Workers = eng.Workers()
+	parStart := time.Now()
+	if _, err := eng.RunGrid(cfg, kinds); err != nil {
+		fatal(err)
+	}
+	b.ParWallS = time.Since(parStart).Seconds()
+	if b.ParWallS > 0 {
+		b.Speedup = b.SeqWallS / b.ParWallS
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&b); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("migbench: %d cells, sequential %.2fs, parallel %.2fs (%d workers, %.2fx) -> %s\n",
+		b.Cells, b.SeqWallS, b.ParWallS, b.Workers, b.Speedup, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "migbench:", err)
+	os.Exit(1)
+}
+
+func parseKinds(s string) ([]workload.Kind, error) {
+	if s == "" {
+		return workload.Kinds(), nil
+	}
+	byName := map[string]workload.Kind{}
+	for _, k := range workload.Kinds() {
+		byName[strings.ToLower(k.String())] = k
+	}
+	var out []workload.Kind
+	for _, name := range strings.Split(s, ",") {
+		k, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}

@@ -5,9 +5,17 @@
 // Usage:
 //
 //	migsim -exp table4-1            # one experiment
-//	migsim -exp all                 # everything
+//	migsim -exp all                 # everything (one shared parallel sweep)
 //	migsim -exp figure4-1 -kinds Minprog,Chess
+//	migsim -exp all -parallel 1     # force sequential trials
 //	migsim -list
+//
+// Trials are scheduled by the experiments.Engine: independent grid
+// cells simulate concurrently on a worker pool (default width
+// GOMAXPROCS) and are memoized, so -exp all simulates each (workload,
+// strategy, prefetch) cell exactly once no matter how many tables and
+// figures consume it. Results are bit-identical regardless of
+// -parallel.
 package main
 
 import (
@@ -53,7 +61,10 @@ func main() {
 	trace := flag.String("trace", "", "write a flight-recorder trace of every simulation to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
 	seed := flag.Uint64("seed", 0, "base seed perturbing all random streams (0 = calibrated defaults)")
+	parallel := flag.Int("parallel", 0, "trial worker-pool width (0 = GOMAXPROCS; 1 = sequential)")
 	flag.Parse()
+
+	experiments.SetWorkers(*parallel)
 
 	if *list {
 		for _, id := range experimentOrder {

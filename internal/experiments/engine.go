@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"accentmig/internal/core"
+	"accentmig/internal/obs"
+	"accentmig/internal/sim"
+	"accentmig/internal/vm"
+	"accentmig/internal/workload"
+	"accentmig/internal/xrand"
+)
+
+// Engine schedules migration trials across a pool of OS goroutines and
+// memoizes their results. Every trial runs on its own fully independent
+// sim.Kernel, so trials can execute concurrently without sharing any
+// simulation state; determinism is preserved because each trial's
+// outcome depends only on (Config, workload, strategy, prefetch) — never
+// on what ran beside it. The cache is keyed by a fingerprint of the
+// Config plus the trial coordinates, so every table, figure, and summary
+// that needs the same cell reuses one simulated result instead of
+// re-running it.
+//
+// Trials driven with a flight-recorder sink installed bypass the cache
+// (a cached result would silently emit no trace events); they still run
+// in parallel, with the shared sink synchronized.
+type Engine struct {
+	// workers is the pool width; <= 0 selects runtime.GOMAXPROCS(0).
+	workers int
+
+	mu    sync.Mutex
+	cache map[cacheKey]*cacheEntry
+}
+
+// cacheKey addresses one memoized trial. variant separates the grid
+// trials (run to remote completion) from the held-at-destination
+// excision trials the timing tables use.
+type cacheKey struct {
+	fp      uint64
+	variant uint8
+	GridKey
+}
+
+const (
+	variantGrid uint8 = iota
+	variantHold
+)
+
+// cacheEntry is a single-flight slot: the first requester computes, any
+// concurrent or later requester blocks on done and shares the result.
+type cacheEntry struct {
+	done chan struct{}
+	tr   *TrialResult
+	hold *HoldResult
+	err  error
+}
+
+// NewEngine returns an engine with the given worker-pool width
+// (<= 0 selects runtime.GOMAXPROCS(0)) and an empty cache.
+func NewEngine(workers int) *Engine {
+	return &Engine{workers: workers, cache: make(map[cacheKey]*cacheEntry)}
+}
+
+// Default is the process-wide engine the package-level experiment
+// harnesses (RunGrid, Table43..45, Figure45) share, so one `migsim -exp
+// all` sweep simulates each grid cell exactly once.
+var Default = NewEngine(0)
+
+// SetWorkers sets the default engine's pool width (<= 0 restores the
+// GOMAXPROCS default). Call it before running experiments.
+func SetWorkers(n int) { Default.workers = n }
+
+// Workers reports the resolved pool width.
+func (e *Engine) Workers() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Reset drops every cached result. Benchmarks use it to force
+// re-simulation; experiment code never needs it.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.cache = make(map[cacheKey]*cacheEntry)
+	e.mu.Unlock()
+}
+
+// CachedCells reports how many results the cache currently holds.
+func (e *Engine) CachedCells() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// fingerprint hashes everything about a Config that can influence a
+// trial's outcome: the machine and link cost models, the tuning
+// constants, and the process-wide base seed perturbing the workload
+// reference traces. The Sink is deliberately excluded — it observes a
+// trial without affecting it — and sink-carrying configs skip the cache
+// anyway. Stability is only needed within one process (the cache dies
+// with it), so the %#v rendering of the nested config structs is a
+// sufficient canonical form.
+func (c Config) fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v|%#v|%#v|%d", c.Machine, c.Link, c.tuning(), xrand.BaseSeed())
+	return h.Sum64()
+}
+
+// lookup returns the single-flight slot for key and whether this caller
+// owns the computation.
+func (e *Engine) lookup(key cacheKey) (*cacheEntry, bool) {
+	e.mu.Lock()
+	if ent, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		<-ent.done
+		return ent, false
+	}
+	ent := &cacheEntry{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.mu.Unlock()
+	return ent, true
+}
+
+// Trial returns the memoized result for one grid cell, simulating it on
+// this goroutine if no one has yet. Configs with a Sink installed run
+// uncached so their flight-recorder stream is always emitted.
+func (e *Engine) Trial(cfg Config, k workload.Kind, s core.Strategy, pf int) (*TrialResult, error) {
+	if cfg.Sink != nil {
+		return RunTrial(cfg, k, s, pf)
+	}
+	key := cacheKey{fp: cfg.fingerprint(), variant: variantGrid, GridKey: GridKey{k, s, pf}}
+	ent, owner := e.lookup(key)
+	if owner {
+		ent.tr, ent.err = RunTrial(cfg, k, s, pf)
+		close(ent.done)
+	}
+	return ent.tr, ent.err
+}
+
+// HoldResult is what a held-at-destination migration trial measures:
+// the migration report plus the address-space usage sampled at the
+// migration point. Tables 4-2, 4-4, and 4-5 are all formatted from it.
+type HoldResult struct {
+	Report *core.Report
+	Usage  vm.Usage
+}
+
+// RunHoldTrial excises and transfers representative k under the given
+// strategy with the destination held (no remote execution), the setup
+// behind the paper's timing tables.
+func RunHoldTrial(cfg Config, k workload.Kind, strat core.Strategy) (*HoldResult, error) {
+	tb := NewTestbed(cfg)
+	b, err := workload.Build(tb.Src, k)
+	if err != nil {
+		return nil, err
+	}
+	u := b.Proc.AS.Usage()
+	tb.Src.Start(b.Proc)
+	var rep *core.Report
+	var migErr error
+	tb.K.Go("driver", func(p *sim.Proc) {
+		rep, migErr = tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
+			Strategy:         strat,
+			WaitMigratePoint: true,
+			HoldAtDest:       true,
+		})
+	})
+	tb.K.Run()
+	if migErr != nil {
+		return nil, migErr
+	}
+	return &HoldResult{Report: rep, Usage: u}, nil
+}
+
+// HoldTrial is the memoized form of RunHoldTrial.
+func (e *Engine) HoldTrial(cfg Config, k workload.Kind, s core.Strategy) (*HoldResult, error) {
+	if cfg.Sink != nil {
+		return RunHoldTrial(cfg, k, s)
+	}
+	key := cacheKey{fp: cfg.fingerprint(), variant: variantHold, GridKey: GridKey{k, s, 0}}
+	ent, owner := e.lookup(key)
+	if owner {
+		ent.hold, ent.err = RunHoldTrial(cfg, k, s)
+		close(ent.done)
+	}
+	return ent.hold, ent.err
+}
+
+// forParallel prepares a config for concurrent trials: a shared
+// flight-recorder sink must be synchronized once kernels emit from
+// more than one goroutine.
+func (c Config) forParallel(workers int) Config {
+	if c.Sink != nil && workers > 1 {
+		c.Sink = obs.Synchronized(c.Sink)
+	}
+	return c
+}
+
+// fanOut runs fn(i) for i in [0, n) on the engine's worker pool and
+// blocks until all complete.
+func (e *Engine) fanOut(n int, fn func(i int)) {
+	w := e.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Trials simulates the given grid cells concurrently (memoized) and
+// returns their results in key order. On error the first failure in key
+// order is reported.
+func (e *Engine) Trials(cfg Config, keys []GridKey) ([]*TrialResult, error) {
+	cfg = cfg.forParallel(e.Workers())
+	out := make([]*TrialResult, len(keys))
+	errs := make([]error, len(keys))
+	e.fanOut(len(keys), func(i int) {
+		out[i], errs[i] = e.Trial(cfg, keys[i].Kind, keys[i].Strategy, keys[i].Prefetch)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// holdPair addresses one held-at-destination trial.
+type holdPair struct {
+	kind  workload.Kind
+	strat core.Strategy
+}
+
+// holdTrials simulates held-at-destination trials concurrently
+// (memoized) and returns results in pair order.
+func (e *Engine) holdTrials(cfg Config, pairs []holdPair) ([]*HoldResult, error) {
+	cfg = cfg.forParallel(e.Workers())
+	out := make([]*HoldResult, len(pairs))
+	errs := make([]error, len(pairs))
+	e.fanOut(len(pairs), func(i int) {
+		out[i], errs[i] = e.HoldTrial(cfg, pairs[i].kind, pairs[i].strat)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// GridKeys enumerates the full paper grid for the given workloads in
+// the canonical order: pure-copy once per workload, then IOU and RS at
+// each prefetch value.
+func GridKeys(kinds []workload.Kind) []GridKey {
+	var keys []GridKey
+	for _, k := range kinds {
+		keys = append(keys, GridKey{k, core.PureCopy, 0})
+		for _, strat := range []core.Strategy{core.PureIOU, core.ResidentSet} {
+			for _, pf := range core.PrefetchValues() {
+				keys = append(keys, GridKey{k, strat, pf})
+			}
+		}
+	}
+	return keys
+}
+
+// RunGrid sweeps the full paper grid on the worker pool, reusing any
+// cells the cache already holds.
+func (e *Engine) RunGrid(cfg Config, kinds []workload.Kind) (*Grid, error) {
+	keys := GridKeys(kinds)
+	trs, err := e.Trials(cfg, keys)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{Cells: make(map[GridKey]*TrialResult, len(keys))}
+	for i, key := range keys {
+		g.Cells[key] = trs[i]
+	}
+	return g, nil
+}
+
+// RunGridSeq sweeps the full paper grid strictly sequentially on the
+// calling goroutine with no memoization — the reference for the
+// parallel-equals-sequential determinism contract, and the baseline for
+// speedup measurements.
+func RunGridSeq(cfg Config, kinds []workload.Kind) (*Grid, error) {
+	g := &Grid{Cells: make(map[GridKey]*TrialResult)}
+	for _, key := range GridKeys(kinds) {
+		tr, err := RunTrial(cfg, key.Kind, key.Strategy, key.Prefetch)
+		if err != nil {
+			return nil, err
+		}
+		g.Cells[key] = tr
+	}
+	return g, nil
+}

@@ -116,13 +116,20 @@ type Figure45Panel struct {
 
 // Figure45 runs the three Lisp-Del trials (no prefetch) and returns
 // their transfer-rate series, white (fault support) vs black (other).
+// The cells run on the default engine, so a grid sweep that already
+// simulated Lisp-Del serves them from cache.
 func Figure45(cfg Config) ([]Figure45Panel, error) {
-	var panels []Figure45Panel
+	var keys []GridKey
 	for _, strat := range core.Strategies() {
-		tr, err := RunTrial(cfg, workload.LispDel, strat, 0)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys, GridKey{workload.LispDel, strat, 0})
+	}
+	trs, err := Default.Trials(cfg, keys)
+	if err != nil {
+		return nil, err
+	}
+	var panels []Figure45Panel
+	for i, strat := range core.Strategies() {
+		tr := trs[i]
 		panels = append(panels, Figure45Panel{
 			Strategy:  strat,
 			Series:    tr.Series,

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"accentmig/internal/core"
-	"accentmig/internal/sim"
+	"accentmig/internal/vm"
 	"accentmig/internal/workload"
 )
 
@@ -64,36 +64,31 @@ type Row42 struct {
 // representative is run to its migration point and migrated under the
 // resident-set strategy (destination held), so the RS size is what the
 // excision actually collapsed as resident — the same quantity the
-// paper's instrumented migrations report.
+// paper's instrumented migrations report. The trials run concurrently
+// on the default engine and are shared with Table 4-5's RS column.
 func Table42(cfg Config) ([]Row42, error) {
+	kinds := workload.Kinds()
+	pairs := make([]holdPair, len(kinds))
+	for i, k := range kinds {
+		pairs[i] = holdPair{kind: k, strat: core.ResidentSet}
+	}
+	hrs, err := Default.holdTrials(cfg, pairs)
+	if err != nil {
+		return nil, err
+	}
+	pageSize := cfg.Machine.PageSize
+	if pageSize == 0 {
+		pageSize = vm.DefaultPageSize
+	}
 	var rows []Row42
-	for _, k := range workload.Kinds() {
-		tb := NewTestbed(cfg)
-		b, err := workload.Build(tb.Src, k)
-		if err != nil {
-			return nil, err
-		}
-		u := b.Proc.AS.Usage()
-		tb.Src.Start(b.Proc)
-		var rep *core.Report
-		var migErr error
-		tb.K.Go("driver", func(p *sim.Proc) {
-			rep, migErr = tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
-				Strategy:         core.ResidentSet,
-				WaitMigratePoint: true,
-				HoldAtDest:       true,
-			})
-		})
-		tb.K.Run()
-		if migErr != nil {
-			return nil, migErr
-		}
-		rs := uint64(rep.ResidentPages) * uint64(tb.Src.PageSize())
+	for i, k := range kinds {
+		hr := hrs[i]
+		rs := uint64(hr.Report.ResidentPages) * uint64(pageSize)
 		rows = append(rows, Row42{
 			Kind:     k,
 			RSSize:   rs,
-			PctReal:  100 * float64(rs) / float64(u.Real),
-			PctTotal: 100 * float64(rs) / float64(u.Total),
+			PctReal:  100 * float64(rs) / float64(hr.Usage.Real),
+			PctTotal: 100 * float64(rs) / float64(hr.Usage.Total),
 		})
 	}
 	return rows, nil
@@ -121,18 +116,20 @@ type Row43 struct {
 }
 
 // Table43 runs IOU and RS trials (no prefetch) and measures what
-// fraction of each space actually moved.
+// fraction of each space actually moved. The cells run concurrently on
+// the default engine and are the same cells Figures 4-1..4-4 reuse.
 func Table43(cfg Config, kinds []workload.Kind) ([]Row43, error) {
-	var rows []Row43
+	var keys []GridKey
 	for _, k := range kinds {
-		iou, err := RunTrial(cfg, k, core.PureIOU, 0)
-		if err != nil {
-			return nil, err
-		}
-		rs, err := RunTrial(cfg, k, core.ResidentSet, 0)
-		if err != nil {
-			return nil, err
-		}
+		keys = append(keys, GridKey{k, core.PureIOU, 0}, GridKey{k, core.ResidentSet, 0})
+	}
+	trs, err := Default.Trials(cfg, keys)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row43
+	for i, k := range kinds {
+		iou, rs := trs[2*i], trs[2*i+1]
 		rows = append(rows, Row43{
 			Kind:     k,
 			IOUReal:  iou.TransferredRealPct(),
@@ -168,29 +165,21 @@ type Row44 struct {
 
 // Table44 excises each representative (the breakdown is strategy-
 // independent; pure-copy is used so insertion covers arrived data, as
-// in the paper's testbed).
+// in the paper's testbed). The trials run concurrently on the default
+// engine and are shared with Table 4-5's Copy column.
 func Table44(cfg Config) ([]Row44, error) {
+	kinds := workload.Kinds()
+	pairs := make([]holdPair, len(kinds))
+	for i, k := range kinds {
+		pairs[i] = holdPair{kind: k, strat: core.PureCopy}
+	}
+	hrs, err := Default.holdTrials(cfg, pairs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row44
-	for _, k := range workload.Kinds() {
-		tb := NewTestbed(cfg)
-		b, err := workload.Build(tb.Src, k)
-		if err != nil {
-			return nil, err
-		}
-		tb.Src.Start(b.Proc)
-		var rep *core.Report
-		var migErr error
-		tb.K.Go("driver", func(p *sim.Proc) {
-			rep, migErr = tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
-				Strategy:         core.PureCopy,
-				WaitMigratePoint: true,
-				HoldAtDest:       true,
-			})
-		})
-		tb.K.Run()
-		if migErr != nil {
-			return nil, migErr
-		}
+	for i, k := range kinds {
+		rep := hrs[i].Report
 		rows = append(rows, Row44{
 			Kind:    k,
 			AMap:    rep.Excise.AMap,
@@ -227,30 +216,25 @@ type Row45 struct {
 
 // Table45 measures address-space transfer times under all three
 // strategies, with the destination held so execution doesn't overlap.
+// The trials run concurrently on the default engine; the RS and Copy
+// cells are shared with Tables 4-2 and 4-4.
 func Table45(cfg Config, kinds []workload.Kind) ([]Row45, error) {
-	var rows []Row45
+	strats := core.Strategies()
+	var pairs []holdPair
 	for _, k := range kinds {
+		for _, strat := range strats {
+			pairs = append(pairs, holdPair{kind: k, strat: strat})
+		}
+	}
+	hrs, err := Default.holdTrials(cfg, pairs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row45
+	for i, k := range kinds {
 		row := Row45{Kind: k}
-		for _, strat := range core.Strategies() {
-			tb := NewTestbed(cfg)
-			b, err := workload.Build(tb.Src, k)
-			if err != nil {
-				return nil, err
-			}
-			tb.Src.Start(b.Proc)
-			var rep *core.Report
-			var migErr error
-			tb.K.Go("driver", func(p *sim.Proc) {
-				rep, migErr = tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
-					Strategy:         strat,
-					WaitMigratePoint: true,
-					HoldAtDest:       true,
-				})
-			})
-			tb.K.Run()
-			if migErr != nil {
-				return nil, migErr
-			}
+		for j, strat := range strats {
+			rep := hrs[i*len(strats)+j].Report
 			switch strat {
 			case core.PureIOU:
 				row.IOU = rep.RIMASTransfer

@@ -217,24 +217,10 @@ func (g *Grid) Cell(k workload.Kind, s core.Strategy, pf int) *TrialResult {
 	return g.Cells[GridKey{k, s, pf}]
 }
 
-// RunGrid sweeps the full paper grid for the given workloads.
+// RunGrid sweeps the full paper grid for the given workloads on the
+// default engine: cells simulate concurrently on the worker pool and
+// are memoized, so later harnesses needing the same cells reuse them.
+// The result is deep-equal to RunGridSeq for the same config and seed.
 func RunGrid(cfg Config, kinds []workload.Kind) (*Grid, error) {
-	g := &Grid{Cells: make(map[GridKey]*TrialResult)}
-	for _, k := range kinds {
-		tr, err := RunTrial(cfg, k, core.PureCopy, 0)
-		if err != nil {
-			return nil, err
-		}
-		g.Cells[GridKey{k, core.PureCopy, 0}] = tr
-		for _, strat := range []core.Strategy{core.PureIOU, core.ResidentSet} {
-			for _, pf := range core.PrefetchValues() {
-				tr, err := RunTrial(cfg, k, strat, pf)
-				if err != nil {
-					return nil, err
-				}
-				g.Cells[GridKey{k, strat, pf}] = tr
-			}
-		}
-	}
-	return g, nil
+	return Default.RunGrid(cfg, kinds)
 }

@@ -8,6 +8,7 @@ package imag
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // IPC operation codes for the copy-on-reference protocol.
@@ -74,13 +75,17 @@ const FlushRequestBytes = 16
 
 // segIDCounter hands out simulation-wide unique imaginary segment IDs,
 // offset far from vm's segment IDs so the two namespaces never collide.
-var segIDCounter uint64 = 1 << 32
+// It is atomic so that independent simulation kernels on concurrent
+// goroutines (parallel experiment trials) can allocate without racing;
+// ID values are identities only and never influence behavior.
+var segIDCounter atomic.Uint64
+
+func init() { segIDCounter.Store(1 << 32) }
 
 // NextSegID returns a fresh simulation-wide unique segment identity
 // for an imaginary object created by a backer.
 func NextSegID() uint64 {
-	segIDCounter++
-	return segIDCounter
+	return segIDCounter.Add(1)
 }
 
 // Store holds the page images a backer owes to remote imaginary

@@ -9,6 +9,7 @@ package ipc
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"accentmig/internal/obs"
@@ -20,7 +21,11 @@ import (
 // port identity survives migration and proxying between machines.
 type PortID uint64
 
-var nextPortID PortID
+// nextPortID is atomic so that independent simulation kernels running
+// on concurrent goroutines (parallel experiment trials) can allocate
+// ports without racing. Port IDs are opaque identities; their numeric
+// values never influence simulation behavior.
+var nextPortID atomic.Uint64
 
 // ErrDeadPort is returned when sending to a deallocated or unknown port.
 var ErrDeadPort = errors.New("ipc: send to dead port")
@@ -210,8 +215,7 @@ func (s *System) Config() Config { return s.cfg }
 
 // AllocPort creates a new port owned by this machine.
 func (s *System) AllocPort(name string) *Port {
-	nextPortID++
-	p := &Port{ID: nextPortID, Name: name, sys: s, queue: sim.NewQueue[*Message](s.k)}
+	p := &Port{ID: PortID(nextPortID.Add(1)), Name: name, sys: s, queue: sim.NewQueue[*Message](s.k)}
 	s.ports[p.ID] = p
 	return p
 }

@@ -17,7 +17,10 @@
 // keyed to virtual time.
 package obs
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Kind is the type of one event.
 type Kind uint8
@@ -173,4 +176,29 @@ func WithPrefix(next Sink, prefix string) Sink {
 func (s *prefixSink) Emit(ev Event) {
 	ev.Machine = s.prefix + ev.Machine
 	s.next.Emit(ev)
+}
+
+// syncSink serializes Emit calls with a mutex, for one sink shared by
+// several kernels driven from concurrent goroutines (e.g. parallel
+// experiment trials tracing into one file). Events from different
+// kernels interleave in arrival order, but each kernel's own stream
+// keeps its order and no event is torn.
+type syncSink struct {
+	mu   sync.Mutex
+	next Sink
+}
+
+// Synchronized wraps next so concurrent emitters do not race. Wrapping
+// an already-synchronized sink returns it unchanged.
+func Synchronized(next Sink) Sink {
+	if _, ok := next.(*syncSink); ok {
+		return next
+	}
+	return &syncSink{next: next}
+}
+
+func (s *syncSink) Emit(ev Event) {
+	s.mu.Lock()
+	s.next.Emit(ev)
+	s.mu.Unlock()
 }

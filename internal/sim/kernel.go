@@ -10,10 +10,13 @@
 //
 // Events at the same virtual time fire in scheduling order (FIFO), which
 // makes every run of a simulation bit-for-bit reproducible.
+//
+// A Kernel and everything scheduled on it belong to one goroutine (plus
+// the proc goroutines it interleaves); kernels are cheap, so concurrent
+// simulations each get their own Kernel rather than sharing one.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 	"time"
@@ -53,7 +56,9 @@ func New() *Kernel {
 func (k *Kernel) Now() time.Duration { return k.now }
 
 // EventsRun reports how many events have been dispatched so far. It is
-// useful in tests as a cheap progress/forward-motion check.
+// useful in tests as a cheap progress/forward-motion check. Sleeps that
+// take the same-instant fast path (see Proc.Sleep) advance the clock
+// without dispatching an event, so this undercounts wake-ups.
 func (k *Kernel) EventsRun() uint64 { return k.ran }
 
 // SetSink installs (or with nil removes) the flight-recorder sink.
@@ -101,7 +106,8 @@ func (k *Kernel) Schedule(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	k.push(&event{at: k.now + d, fn: fn})
+	k.events.push(event{at: k.now + d, seq: k.seq, fn: fn})
+	k.seq++
 }
 
 // ScheduleAt arranges for fn to run at absolute virtual time t, which
@@ -111,12 +117,6 @@ func (k *Kernel) ScheduleAt(t time.Duration, fn func()) {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) in the past (now %v)", t, k.now))
 	}
 	k.Schedule(t-k.now, fn)
-}
-
-func (k *Kernel) push(e *event) {
-	e.seq = k.seq
-	k.seq++
-	heap.Push(&k.events, e)
 }
 
 // Stop makes Run return after the currently dispatching event completes.
@@ -131,18 +131,14 @@ func (k *Kernel) Run() time.Duration {
 		panic("sim: Run called from proc context")
 	}
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		e := heap.Pop(&k.events).(*event)
-		if k.hasDL && e.at > k.deadline {
-			// Put it back; a later RunUntil may want it.
-			heap.Push(&k.events, e)
+	for len(k.events.h) > 0 && !k.stopped {
+		if k.hasDL && k.events.h[0].at > k.deadline {
+			// Leave it queued; a later RunUntil may want it.
 			k.now = k.deadline
 			k.hasDL = false
 			return k.now
 		}
-		if e.cancelled {
-			continue
-		}
+		e := k.events.pop()
 		k.now = e.at
 		k.ran++
 		e.fn()
@@ -169,7 +165,7 @@ func (k *Kernel) RunUntil(t time.Duration) time.Duration {
 }
 
 // Idle reports whether no events are pending.
-func (k *Kernel) Idle() bool { return len(k.events) == 0 }
+func (k *Kernel) Idle() bool { return len(k.events.h) == 0 }
 
 // LiveProcs reports the number of procs that have been started and have
 // not yet returned. A nonzero value with an idle heap means those procs
@@ -177,43 +173,78 @@ func (k *Kernel) Idle() bool { return len(k.events) == 0 }
 // normal end state of an OS simulation.
 func (k *Kernel) LiveProcs() int { return k.live }
 
-// event is a single heap entry.
+// event is a single heap entry, stored by value: scheduling allocates
+// nothing beyond the amortized growth of the heap's backing array.
 type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int
+	at  time.Duration
+	seq uint64
+	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is an index-based 4-ary min-heap ordered by (at, seq). A
+// 4-ary layout halves the tree depth of a binary heap, so sift-down —
+// the cost that dominates pop — touches fewer cache lines, and the
+// by-value storage avoids both the per-event allocation and the
+// interface boxing that container/heap would impose on this hot path.
+type eventHeap struct {
+	h []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by time, then by scheduling order.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (eh *eventHeap) push(e event) {
+	h := append(eh.h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	eh.h = h
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+func (eh *eventHeap) pop() event {
+	h := eh.h
+	min := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the closure to the GC
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	eh.h = h
+	return min
 }

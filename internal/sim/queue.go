@@ -7,10 +7,19 @@ import "time"
 // simulated OS. Push never blocks; Pop blocks the calling proc until an
 // item is available. Items are delivered in FIFO order and waiters are
 // served in FIFO order.
+//
+// Both the item buffer and the waiter list are head-indexed rings over
+// a reusable backing array, and waiters retired by delivery are kept on
+// a free list, so steady-state producer/consumer traffic allocates
+// nothing per message.
 type Queue[T any] struct {
-	k       *Kernel
-	items   []T
+	k     *Kernel
+	items []T
+	ihead int
+
 	waiters []*qwaiter[T]
+	whead   int
+	free    []*qwaiter[T]
 }
 
 type qwaiter[T any] struct {
@@ -18,6 +27,7 @@ type qwaiter[T any] struct {
 	item      T
 	delivered bool
 	cancelled bool // timeout fired or proc killed before delivery
+	timed     bool // a PopTimeout closure may still reference this waiter
 }
 
 // NewQueue returns an empty queue bound to kernel k.
@@ -26,12 +36,12 @@ func NewQueue[T any](k *Kernel) *Queue[T] {
 }
 
 // Len reports the number of buffered (undelivered) items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.ihead }
 
 // Waiting reports the number of procs currently blocked in Pop.
 func (q *Queue[T]) Waiting() int {
 	n := 0
-	for _, w := range q.waiters {
+	for _, w := range q.waiters[q.whead:] {
 		if !w.cancelled && !w.p.killed && !w.p.done {
 			n++
 		}
@@ -39,14 +49,68 @@ func (q *Queue[T]) Waiting() int {
 	return n
 }
 
+// getWaiter takes a waiter from the free list or allocates one.
+func (q *Queue[T]) getWaiter(p *Proc) *qwaiter[T] {
+	if n := len(q.free); n > 0 {
+		w := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		*w = qwaiter[T]{p: p}
+		return w
+	}
+	return &qwaiter[T]{p: p}
+}
+
+// putWaiter recycles a waiter that nothing references anymore. Waiters
+// with a pending timeout closure are never recycled: the closure may
+// fire after the waiter would have been reused.
+func (q *Queue[T]) putWaiter(w *qwaiter[T]) {
+	if w.timed {
+		return
+	}
+	q.free = append(q.free, w)
+}
+
+// popItem removes and returns the head buffered item. The caller must
+// have checked Len() > 0.
+func (q *Queue[T]) popItem() T {
+	var zero T
+	v := q.items[q.ihead]
+	q.items[q.ihead] = zero
+	q.ihead++
+	if q.ihead == len(q.items) {
+		q.items = q.items[:0]
+		q.ihead = 0
+	}
+	return v
+}
+
+// popWaiter removes and returns the head waiter, or nil if none remain.
+func (q *Queue[T]) popWaiter() *qwaiter[T] {
+	if q.whead == len(q.waiters) {
+		return nil
+	}
+	w := q.waiters[q.whead]
+	q.waiters[q.whead] = nil
+	q.whead++
+	if q.whead == len(q.waiters) {
+		q.waiters = q.waiters[:0]
+		q.whead = 0
+	}
+	return w
+}
+
 // Push appends v. If a proc is blocked in Pop, the item is handed
 // directly to the longest-waiting live one and that proc is scheduled to
 // resume at the current virtual time.
 func (q *Queue[T]) Push(v T) {
-	for len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	for {
+		w := q.popWaiter()
+		if w == nil {
+			break
+		}
 		if w.cancelled || w.p.killed || w.p.done {
+			q.putWaiter(w)
 			continue
 		}
 		w.item = v
@@ -59,33 +123,35 @@ func (q *Queue[T]) Push(v T) {
 
 // Pop removes and returns the head item, blocking p until one exists.
 func (q *Queue[T]) Pop(p *Proc) T {
-	if len(q.items) > 0 {
-		v := q.items[0]
-		q.items = q.items[1:]
-		return v
-	}
-	w := &qwaiter[T]{p: p}
-	q.waiters = append(q.waiters, w)
-	p.park()
-	if !w.delivered {
-		// Defensive: a spurious resume (e.g. from Kill racing a Push)
-		// without a delivered item; retry from the top.
+	for {
+		if q.Len() > 0 {
+			return q.popItem()
+		}
+		w := q.getWaiter(p)
+		q.waiters = append(q.waiters, w)
+		p.park()
+		if w.delivered {
+			v := w.item
+			q.putWaiter(w)
+			return v
+		}
+		// Spurious resume (e.g. from Kill racing a Push) without a
+		// delivered item: mark the stale waiter dead — Push skips and
+		// recycles it — and retry from the top. The loop (rather than
+		// recursion) keeps a pathological wake storm from growing the
+		// stack.
 		w.cancelled = true
-		return q.Pop(p)
 	}
-	return w.item
 }
 
 // TryPop removes and returns the head item without blocking. The second
 // result reports whether an item was available.
 func (q *Queue[T]) TryPop() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.popItem(), true
 }
 
 // PopTimeout behaves like Pop but gives up after d of virtual time,
@@ -94,12 +160,11 @@ func (q *Queue[T]) PopTimeout(p *Proc, d time.Duration) (T, bool) {
 	if d <= 0 {
 		return q.TryPop()
 	}
-	if len(q.items) > 0 {
-		v := q.items[0]
-		q.items = q.items[1:]
-		return v, true
+	if q.Len() > 0 {
+		return q.popItem(), true
 	}
-	w := &qwaiter[T]{p: p}
+	w := q.getWaiter(p)
+	w.timed = true
 	q.waiters = append(q.waiters, w)
 	q.k.Schedule(d, func() {
 		if !w.delivered && !w.cancelled {

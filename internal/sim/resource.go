@@ -17,6 +17,7 @@ type Resource struct {
 	capacity int
 	inUse    int
 	waiters  []*resWaiter
+	free     []*resWaiter // retired waiters, reused to avoid per-wait allocation
 
 	// accounting
 	busy      time.Duration // total time units of held capacity
@@ -32,6 +33,18 @@ type resWaiter struct {
 	p       *Proc
 	high    bool
 	granted bool // the unit was handed off directly by Release
+}
+
+// getWaiter takes a waiter from the free list or allocates one.
+func (r *Resource) getWaiter(p *Proc, high bool) *resWaiter {
+	if n := len(r.free); n > 0 {
+		w := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		*w = resWaiter{p: p, high: high}
+		return w
+	}
+	return &resWaiter{p: p, high: high}
 }
 
 // NewResource returns a resource with the given capacity (>= 1).
@@ -101,7 +114,7 @@ func (r *Resource) acquire(p *Proc, high bool) {
 		if waitStart < 0 {
 			waitStart = r.k.now
 		}
-		w := &resWaiter{p: p, high: high}
+		w := r.getWaiter(p, high)
 		r.enqueue(w)
 		p.park()
 		if w.granted {
@@ -109,10 +122,12 @@ func (r *Resource) acquire(p *Proc, high bool) {
 			// releaser that immediately re-acquires must queue behind
 			// this grant). inUse was never decremented.
 			r.acquires++
+			r.free = append(r.free, w)
 			r.observeWait(p, waitStart)
 			return
 		}
-		// Spurious wakeup; retry.
+		// Spurious wakeup; retry. The stale waiter stays queued until
+		// Release pops and discards it, so it cannot be recycled here.
 	}
 	r.account()
 	r.inUse++
@@ -156,8 +171,10 @@ func (r *Resource) Release() {
 	// live does the unit become free.
 	for len(r.waiters) > 0 {
 		w := r.waiters[0]
+		r.waiters[0] = nil
 		r.waiters = r.waiters[1:]
 		if w.p.killed || w.p.done {
+			r.free = append(r.free, w)
 			continue
 		}
 		w.granted = true

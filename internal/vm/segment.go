@@ -1,6 +1,9 @@
 package vm
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // SegmentClass distinguishes locally backed segments from imaginary
 // (port-backed) ones.
@@ -74,13 +77,16 @@ type Segment struct {
 	onDeath func() // invoked when refs drops to zero (§2.2 Death message)
 }
 
-var nextSegID uint64
+// nextSegID is atomic so that independent simulation kernels running
+// on concurrent goroutines (parallel experiment trials) can allocate
+// segments without racing. ID values never influence simulation
+// behavior, only identity, so allocation order does not matter.
+var nextSegID atomic.Uint64
 
 // NewSegment creates a real segment of the given size.
 func NewSegment(name string, size uint64, pageSize int) *Segment {
-	nextSegID++
 	return &Segment{
-		ID:       nextSegID,
+		ID:       nextSegID.Add(1),
 		Name:     name,
 		Class:    RealSeg,
 		Size:     size,
