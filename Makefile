@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check report bench clean
+.PHONY: all build test race vet check faultcheck report bench clean
 
 all: build
 
@@ -16,7 +16,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+check: build vet test race faultcheck
+
+# Fault-injection determinism gate: the resilience experiment — lossy
+# sweeps, crashes, a partition — must be byte-identical across two
+# fresh runs of the fixed-seed plan.
+faultcheck:
+	$(GO) run ./cmd/migsim -exp resilience > /tmp/faultcheck.a
+	$(GO) run ./cmd/migsim -exp resilience > /tmp/faultcheck.b
+	cmp /tmp/faultcheck.a /tmp/faultcheck.b
+	@echo "faultcheck: resilience output is deterministic"
 
 # Regenerate the measured side of EXPERIMENTS.md.
 report:

@@ -8,6 +8,8 @@
 //	migsim -exp all                 # everything (one shared parallel sweep)
 //	migsim -exp figure4-1 -kinds Minprog,Chess
 //	migsim -exp all -parallel 1     # force sequential trials
+//	migsim -exp resilience          # fault-injection sweep
+//	migsim -exp table4-5 -faults plan.json -max-retries 2
 //	migsim -list
 //
 // Trials are scheduled by the experiments.Engine: independent grid
@@ -27,6 +29,7 @@ import (
 
 	"accentmig/internal/core"
 	"accentmig/internal/experiments"
+	"accentmig/internal/faults"
 	"accentmig/internal/obs"
 	"accentmig/internal/workload"
 	"accentmig/internal/xrand"
@@ -36,6 +39,7 @@ var experimentOrder = []string{
 	"table4-1", "table4-2", "table4-3", "table4-4", "table4-5",
 	"figure4-1", "figure4-2", "figure4-3", "figure4-4", "figure4-5",
 	"summary", "ablations", "precopy", "breakeven", "bystander", "residual", "hops",
+	"resilience",
 }
 
 var tunables struct {
@@ -43,6 +47,10 @@ var tunables struct {
 	bandwidth  int
 	dropProb   float64
 	csv        bool
+
+	faultsPath string
+	crashAt    string
+	maxRetries int
 
 	sink interface {
 		obs.Sink
@@ -56,7 +64,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.IntVar(&tunables.physFrames, "physframes", 0, "physical memory frames per machine (0 = default 600)")
 	flag.IntVar(&tunables.bandwidth, "bandwidth", 0, "link rate in bytes/sec (0 = default 375000)")
-	flag.Float64Var(&tunables.dropProb, "droprate", 0, "frame loss probability on the link")
+	flag.Float64Var(&tunables.dropProb, "droprate", 0, "frame loss probability on the link (shorthand for a uniform fault plan)")
+	flag.StringVar(&tunables.faultsPath, "faults", "", "JSON fault plan file injected into every trial (see docs/RESILIENCE.md)")
+	flag.StringVar(&tunables.crashAt, "crash-at", "", "crash the source machine's backer at this migration phase (excise, xfer.core, xfer.rimas, remote)")
+	flag.IntVar(&tunables.maxRetries, "max-retries", -1, "migration retry budget with strategy degradation (-1 = experiment default)")
 	flag.BoolVar(&tunables.csv, "csv", false, "emit figure data as CSV instead of text")
 	trace := flag.String("trace", "", "write a flight-recorder trace of every simulation to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
@@ -136,11 +147,57 @@ func parseKinds(s string) ([]workload.Kind, error) {
 	return out, nil
 }
 
+// faultPlan compiles the fault-related flags into one plan: an
+// explicit -faults file, with -droprate and -crash-at layered on top.
+// Nil means no faults were requested.
+func faultPlan() (*faults.Plan, error) {
+	var plan *faults.Plan
+	if tunables.faultsPath != "" {
+		p, err := faults.Load(tunables.faultsPath)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	if tunables.dropProb > 0 {
+		if plan == nil {
+			plan = faults.FromDropRate(tunables.dropProb, 0)
+		} else if plan.DropProb == 0 {
+			plan.DropProb = tunables.dropProb
+		}
+	}
+	if tunables.crashAt != "" {
+		if plan == nil {
+			plan = &faults.Plan{}
+		}
+		plan.Crashes = append(plan.Crashes, faults.Crash{
+			Machine: "src", AtPhase: tunables.crashAt, Policy: faults.CrashFail,
+		})
+	}
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
 func run(id string, kinds []workload.Kind) error {
 	cfg := experiments.Config{}
 	cfg.Machine.PhysFrames = tunables.physFrames
 	cfg.Link.BytesPerSecond = tunables.bandwidth
-	cfg.Link.DropProb = tunables.dropProb
+	plan, err := faultPlan()
+	if err != nil {
+		return err
+	}
+	cfg.Faults = plan
+	if tunables.maxRetries >= 0 {
+		cfg.Recovery = &experiments.ResilienceOptions{
+			MaxRetries: tunables.maxRetries,
+			Degrade:    true,
+			AckTimeout: 15 * time.Minute,
+		}
+	}
 	if tunables.sink != nil {
 		// Namespace every trial's machines by experiment, so one trace
 		// file holds the whole run with distinguishable process groups.
@@ -255,6 +312,12 @@ func run(id string, kinds []workload.Kind) error {
 			return err
 		}
 		fmt.Println(experiments.FormatHopPenalty(rows))
+	case "resilience":
+		t, err := experiments.Resilience(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatResilience(t))
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

@@ -268,6 +268,7 @@ func init() {
 				return nil, nil, err
 			}
 			w.i64(int64(cb.Prefetch))
+			w.i64(int64(cb.Attempt))
 			return w.b, extras, nil
 		},
 		Decode: func(b []byte, extras []any) (any, error) {
@@ -305,6 +306,7 @@ func init() {
 					return nil, err
 				}
 				cb.Prefetch = int(r.i64())
+				cb.Attempt = int(r.i64())
 				return cb, nil
 			})
 		},
@@ -326,6 +328,7 @@ func init() {
 				w.u32(run.Pages)
 				w.bool(run.Resident)
 			}
+			w.i64(int64(rb.Attempt))
 			return w.b, nil, nil
 		},
 		Decode: func(b []byte, _ []any) (any, error) {
@@ -338,6 +341,7 @@ func init() {
 						VA: vm.Addr(r.u64()), Pages: r.u32(), Resident: r.boolv(),
 					})
 				}
+				rb.Attempt = int(r.i64())
 				return rb, nil
 			})
 		},
@@ -359,6 +363,7 @@ func init() {
 			w.i64(int64(ab.Insert.IOURuns))
 			w.i64(int64(ab.Insert.ZeroRuns))
 			w.str(ab.Err)
+			w.i64(int64(ab.Attempt))
 			return w.b, nil, nil
 		},
 		Decode: func(b []byte, _ []any) (any, error) {
@@ -373,6 +378,7 @@ func init() {
 				ab.Insert.IOURuns = int(r.i64())
 				ab.Insert.ZeroRuns = int(r.i64())
 				ab.Err = r.str()
+				ab.Attempt = int(r.i64())
 				return ab, nil
 			})
 		},

@@ -20,6 +20,13 @@ import (
 // dissolve, the source must stay up and keep serving. Flushing after
 // the process settles converts the remaining promise into one bulk
 // transfer at a quiet moment.
+//
+// The flush proceeds in bounded chunks (FlushChunkPages per request)
+// rather than one message for the whole residual dependency: on the
+// stop-and-wait wire a monolithic flush of a large address space
+// occupies the link for minutes, and demand read replies for the
+// process's concurrent faults would queue behind it past the pager's
+// retry budget.
 func DissolveIOUs(p *sim.Proc, m *machine.Machine, pr *machine.Process) (int, error) {
 	fetched := 0
 	seen := map[uint64]bool{}
@@ -29,30 +36,41 @@ func DissolveIOUs(p *sim.Proc, m *machine.Machine, pr *machine.Process) (int, er
 			continue
 		}
 		seen[seg.ID] = true
-		rep, err := m.IPC.Call(p, &ipc.Message{
-			Op:           imag.OpFlush,
-			To:           ipc.PortID(seg.BackingPort),
-			Body:         &imag.FlushRequest{SegID: seg.ID},
-			BodyBytes:    imag.FlushRequestBytes,
-			FaultSupport: true,
-		})
-		if err != nil {
-			return fetched, fmt.Errorf("core: dissolve segment %d: %w", seg.ID, err)
-		}
-		body, ok := rep.Body.(*imag.ReadReply)
-		if !ok {
-			return fetched, fmt.Errorf("core: dissolve segment %d: bad reply %T", seg.ID, rep.Body)
-		}
-		for _, pg := range body.Pages {
-			// Skip pages already fetched by earlier faults.
-			if seg.Page(pg.Index) != nil {
-				continue
+		for {
+			rep, err := m.IPC.Call(p, &ipc.Message{
+				Op:           imag.OpFlush,
+				To:           ipc.PortID(seg.BackingPort),
+				Body:         &imag.FlushRequest{SegID: seg.ID, MaxPages: FlushChunkPages},
+				BodyBytes:    imag.FlushRequestBytes,
+				FaultSupport: true,
+			})
+			if err != nil {
+				return fetched, fmt.Errorf("core: dissolve segment %d: %w", seg.ID, err)
 			}
-			vp := seg.Materialize(pg.Index, pg.Data)
-			vp.MarkWritten() // no local disk copy yet
-			m.Pager.Install(seg, pg.Index)
-			fetched++
+			body, ok := rep.Body.(*imag.ReadReply)
+			if !ok {
+				return fetched, fmt.Errorf("core: dissolve segment %d: bad reply %T", seg.ID, rep.Body)
+			}
+			for _, pg := range body.Pages {
+				// Skip pages already fetched by earlier faults.
+				if seg.Page(pg.Index) != nil {
+					continue
+				}
+				vp := seg.Materialize(pg.Index, pg.Data)
+				vp.MarkWritten() // no local disk copy yet
+				m.Pager.Install(seg, pg.Index)
+				fetched++
+			}
+			if len(body.Pages) < FlushChunkPages {
+				break
+			}
 		}
 	}
 	return fetched, nil
 }
+
+// FlushChunkPages bounds one flush request during IOU dissolution.
+// 256 pages (128 KB at the Perq's 512-byte pages) keeps each reply to
+// well under a second of wire time, so concurrent demand faults are
+// answered between chunks.
+const FlushChunkPages = 256

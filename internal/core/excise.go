@@ -45,6 +45,10 @@ type CoreBody struct {
 	PC               int
 	Program          *trace.Program
 	Prefetch         int
+	// Attempt numbers the migration try this context belongs to, so
+	// acknowledgements delayed past a retransmission are recognized as
+	// stale by the source.
+	Attempt int
 }
 
 // CollapsedRun describes one RealMem run of the collapsed RIMAS area:
@@ -73,6 +77,8 @@ type RIMASBody struct {
 	PreCopied bool
 	// Runs is the collapsed-area reconstruction table in VA order.
 	Runs []CollapsedRun
+	// Attempt numbers the migration try (see CoreBody.Attempt).
+	Attempt int
 }
 
 // Bytes prices the body for wire accounting.
@@ -86,6 +92,8 @@ type AckBody struct {
 	InsertDone   time.Duration
 	Insert       InsertTimings
 	Err          string
+	// Attempt echoes the request's attempt number back to the source.
+	Attempt int
 }
 
 // ExciseTimings breaks down ExciseProcess cost as Table 4-4 does.

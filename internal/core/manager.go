@@ -23,7 +23,25 @@ type Options struct {
 	// HoldAtDest leaves the process stopped after insertion instead of
 	// resuming it immediately.
 	HoldAtDest bool
+
+	// AckTimeout bounds the wait for each handshake acknowledgement
+	// (Core ack, migrate ack). On expiry the attempt is aborted and the
+	// process rolled back to the source. Zero selects
+	// DefaultAckTimeout; negative waits forever.
+	AckTimeout time.Duration
+	// MaxRetries is how many further attempts follow a recoverable
+	// failure (phase timeout, dead peer). Zero retries never.
+	MaxRetries int
+	// Degrade steps the strategy down the reliability ladder on every
+	// retry (PureIOU → ResidentSet → PureCopy), shedding residual
+	// dependencies as the network proves itself unreliable.
+	Degrade bool
 }
+
+// DefaultAckTimeout is the per-phase handshake deadline when Options
+// leaves AckTimeout zero. It is far beyond any healthy transfer, so it
+// only fires when the control plane has genuinely failed.
+const DefaultAckTimeout = 2 * time.Minute
 
 // Report is the source manager's account of one migration.
 type Report struct {
@@ -45,10 +63,28 @@ type Report struct {
 	RealPages     int
 	ResidentPages int
 	Attachments   int
+
+	// Attempts counts the tries the migration took (1 = first try).
+	Attempts int
+	// FinalStrategy is the strategy of the successful attempt, which
+	// differs from Options.Strategy after degradation.
+	FinalStrategy Strategy
 }
 
 // ErrMigrationFailed wraps a destination-reported insertion failure.
 var ErrMigrationFailed = errors.New("core: migration failed")
+
+// ErrMigrationAborted reports that every attempt failed and the
+// process was rolled back and resumed at the source.
+var ErrMigrationAborted = errors.New("core: migration aborted")
+
+// ErrPhaseTimeout reports a handshake acknowledgement missing its
+// per-phase deadline.
+var ErrPhaseTimeout = errors.New("core: migration phase timed out")
+
+// ErrPeerDead reports that the transport declared the destination
+// unreachable mid-migration.
+var ErrPeerDead = errors.New("core: migration peer unreachable")
 
 // Manager is the per-machine MigrationManager process (§3.2): it
 // accepts context messages on its port and reconstructs processes. The
@@ -58,6 +94,11 @@ type Manager struct {
 	M    *machine.Machine
 	Tun  Tuning
 	Port *ipc.Port
+
+	// PhaseHook, when set, is called in the migrating proc's context as
+	// each source-side migration phase begins (excise, xfer.core,
+	// xfer.rimas). Fault harnesses key scheduled crashes to it.
+	PhaseHook func(p *sim.Proc, phase string)
 
 	pendingCore map[string]*pending
 	// staged holds pre-copied page contents by process and VA, awaiting
@@ -135,7 +176,7 @@ func (mgr *Manager) serve(p *sim.Proc) {
 				_ = mgr.M.IPC.Send(p, &ipc.Message{
 					Op:        OpCoreAck,
 					To:        m.ReplyTo,
-					Body:      &AckBody{ProcName: cb.ProcName, CoreArrived: p.Now()},
+					Body:      &AckBody{ProcName: cb.ProcName, CoreArrived: p.Now(), Attempt: cb.Attempt},
 					BodyBytes: 96,
 				})
 			}
@@ -158,7 +199,7 @@ func (mgr *Manager) serve(p *sim.Proc) {
 func (mgr *Manager) handleRIMAS(p *sim.Proc, rb *RIMASBody, m *ipc.Message) {
 	rimasArrived := p.Now()
 	pend, ok := mgr.pendingCore[rb.ProcName]
-	ack := &AckBody{ProcName: rb.ProcName, RIMASArrived: rimasArrived}
+	ack := &AckBody{ProcName: rb.ProcName, RIMASArrived: rimasArrived, Attempt: rb.Attempt}
 	if !ok {
 		ack.Err = fmt.Sprintf("RIMAS for %q with no Core context", rb.ProcName)
 	} else {
@@ -225,8 +266,79 @@ func (mgr *Manager) handlePreCopy(p *sim.Proc, pb *PreCopyBody, m *ipc.Message) 
 // MigrateTo migrates the named process from this manager's machine to
 // the manager listening on destPort, using the given options. It runs
 // in the caller's proc on the source machine and blocks until the
-// destination acknowledges insertion.
+// destination acknowledges insertion — or, under Options' recovery
+// knobs, until every attempt has failed, in which case the process is
+// rolled back and resumed at the source and the error explains the
+// abort. A recoverable failure (phase timeout, dead peer) triggers up
+// to MaxRetries further attempts, optionally degrading the strategy.
 func (mgr *Manager) MigrateTo(p *sim.Proc, procName string, destPort ipc.PortID, opts Options) (*Report, error) {
+	timeout := opts.AckTimeout
+	if timeout == 0 {
+		timeout = DefaultAckTimeout
+	}
+	// One reply port across all attempts, so an acknowledgement that
+	// limps in after its attempt was abandoned still lands here — the
+	// Attempt echo tells stale from current, and a stale success is
+	// adopted rather than discarded (the destination really does hold
+	// the process).
+	reply := mgr.M.IPC.AllocPort("migrate-reply")
+	defer mgr.M.IPC.RemovePort(reply)
+
+	strat := opts.Strategy
+	retryDelay := 500 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			p.Sleep(retryDelay)
+			retryDelay *= 2
+			if opts.Degrade {
+				strat = Degrade(strat)
+			}
+			mgr.state(procName, "Retrying")
+		}
+		rep, err := mgr.migrateOnce(p, procName, destPort, reply, opts, strat, timeout, attempt)
+		if err == nil {
+			rep.Attempts = attempt + 1
+			rep.FinalStrategy = strat
+			return rep, nil
+		}
+		lastErr = err
+		if !recoverable(err) {
+			mgr.resumeLocal(p, procName)
+			return nil, err
+		}
+	}
+	mgr.resumeLocal(p, procName)
+	return nil, fmt.Errorf("%w: %q after %d attempts: %w",
+		ErrMigrationAborted, procName, opts.MaxRetries+1, lastErr)
+}
+
+// recoverable reports whether a failed attempt is worth retrying.
+func recoverable(err error) bool {
+	return errors.Is(err, ErrPhaseTimeout) || errors.Is(err, ErrPeerDead)
+}
+
+// hook fires the PhaseHook, if any.
+func (mgr *Manager) hook(p *sim.Proc, phase string) {
+	if mgr.PhaseHook != nil {
+		mgr.PhaseHook(p, phase)
+	}
+}
+
+// resumeLocal restarts a rolled-back process after a final abort, so
+// the source machine keeps running it as if migration had never been
+// attempted.
+func (mgr *Manager) resumeLocal(p *sim.Proc, procName string) {
+	if pr, ok := mgr.M.Process(procName); ok && pr.Status == machine.AtMigrationPoint {
+		mgr.M.Start(pr)
+		mgr.state(procName, "ResumedAtSource")
+	}
+}
+
+// migrateOnce runs a single migration attempt end to end. On any
+// failure after the excise it rolls the process back onto the source
+// machine before returning the cause.
+func (mgr *Manager) migrateOnce(p *sim.Proc, procName string, destPort ipc.PortID, reply *ipc.Port, opts Options, strat Strategy, timeout time.Duration, attempt int) (*Report, error) {
 	pr, ok := mgr.M.Process(procName)
 	if !ok {
 		return nil, fmt.Errorf("core: no process %q on %s", procName, mgr.M.Name)
@@ -236,47 +348,65 @@ func (mgr *Manager) MigrateTo(p *sim.Proc, procName string, destPort ipc.PortID,
 	}
 	startAt := p.Now()
 
-	ctx, err := ExciseProcess(p, mgr.M, pr, opts.Strategy, opts.Prefetch, mgr.Tun)
+	mgr.hook(p, "excise")
+	ctx, err := ExciseProcess(p, mgr.M, pr, strat, opts.Prefetch, mgr.Tun)
 	if err != nil {
 		return nil, err
 	}
-
-	reply := mgr.M.IPC.AllocPort("migrate-reply")
-	defer mgr.M.IPC.RemovePort(reply)
+	// Snapshot the RIMAS attachment list before the forwarder sees it:
+	// IOU absorption replaces elements in place, and rollback must
+	// reinstate the original page data.
+	memSnap := append([]*ipc.MemAttachment(nil), ctx.RIMAS.Mem...)
+	fail := func(cause error) error {
+		if rbErr := mgr.rollback(p, pr, ctx, memSnap); rbErr != nil {
+			return errors.Join(cause, rbErr)
+		}
+		return cause
+	}
 
 	// Core context first; wait for its arrival ack so the RIMAS
 	// transfer is measured on an idle wire, as Table 4-5 does. The
 	// source-side rights/PCB packaging belongs to this transfer window,
 	// which is why Core transmission takes ≈1 s in all cases.
+	mgr.hook(p, "xfer.core")
 	coreSendStart := p.Now()
+	cb := ctx.Core.Body.(*CoreBody)
+	cb.Attempt = attempt
 	mgr.M.CPU.UseHigh(p, mgr.Tun.CoreRightsCPU+
-		time.Duration(len(ctx.Core.Body.(*CoreBody).Rights))*mgr.Tun.PerPortRight)
+		time.Duration(len(cb.Rights))*mgr.Tun.PerPortRight)
 	ctx.Core.To = destPort
 	ctx.Core.ReplyTo = reply.ID
 	if err := mgr.M.IPC.Send(p, ctx.Core); err != nil {
-		return nil, fmt.Errorf("core: sending Core context: %w", err)
+		return nil, fail(fmt.Errorf("%w: sending Core context: %v", ErrPeerDead, err))
 	}
-	coreAckMsg := mgr.M.IPC.Receive(p, reply)
-	coreAck, ok := coreAckMsg.Body.(*AckBody)
-	if !ok || coreAckMsg.Op != OpCoreAck {
-		return nil, fmt.Errorf("core: expected Core ack, got op %#x body %T", coreAckMsg.Op, coreAckMsg.Body)
+	coreAck, adopted, err := mgr.awaitAck(p, reply, OpCoreAck, attempt, timeout, procName, "xfer.core")
+	if err != nil {
+		return nil, fail(err)
+	}
+	if adopted {
+		return mgr.adoptedReport(p, procName, ctx, coreAck, startAt), nil
 	}
 
+	mgr.hook(p, "xfer.rimas")
 	rimasSendStart := p.Now()
-	ctx.RIMAS.Body.(*RIMASBody).HoldAtDest = opts.HoldAtDest
+	rb := ctx.RIMAS.Body.(*RIMASBody)
+	rb.HoldAtDest = opts.HoldAtDest
+	rb.Attempt = attempt
 	ctx.RIMAS.To = destPort
 	ctx.RIMAS.ReplyTo = reply.ID
 	if err := mgr.M.IPC.Send(p, ctx.RIMAS); err != nil {
-		return nil, fmt.Errorf("core: sending RIMAS context: %w", err)
+		return nil, fail(fmt.Errorf("%w: sending RIMAS context: %v", ErrPeerDead, err))
 	}
 
-	ackMsg := mgr.M.IPC.Receive(p, reply)
-	ack, ok := ackMsg.Body.(*AckBody)
-	if !ok {
-		return nil, fmt.Errorf("core: malformed migration ack %T", ackMsg.Body)
+	ack, adopted, err := mgr.awaitAck(p, reply, OpMigrateAck, attempt, timeout, procName, "xfer.rimas")
+	if err != nil {
+		return nil, fail(err)
+	}
+	if adopted {
+		return mgr.adoptedReport(p, procName, ctx, ack, startAt), nil
 	}
 	if ack.Err != "" {
-		return nil, fmt.Errorf("%w: %s", ErrMigrationFailed, ack.Err)
+		return nil, fail(fmt.Errorf("%w: %s", ErrMigrationFailed, ack.Err))
 	}
 	mgr.phase(procName, "excise", startAt, startAt+ctx.Timings.Overall)
 	mgr.phase(procName, "xfer.core", coreSendStart, coreAck.CoreArrived)
@@ -293,4 +423,97 @@ func (mgr *Manager) MigrateTo(p *sim.Proc, procName string, destPort ipc.PortID,
 		ResidentPages: ctx.ResidentPages,
 		Attachments:   ctx.Attachments,
 	}, nil
+}
+
+// adoptedReport builds the report for a migration completed by a
+// stale successful acknowledgement: an earlier attempt's insertion
+// succeeded but its ack was delayed past the retransmission. The
+// destination holds the process, so the current attempt's in-flight
+// context is abandoned and the earlier completion adopted.
+func (mgr *Manager) adoptedReport(p *sim.Proc, procName string, ctx *Context, ack *AckBody, startAt time.Duration) *Report {
+	mgr.state(procName, "AdoptedStaleAck")
+	return &Report{
+		Excise:        ctx.Timings,
+		Insert:        ack.Insert,
+		Total:         p.Now() - startAt,
+		InsertDoneAt:  ack.InsertDone,
+		RealPages:     ctx.RealPages,
+		ResidentPages: ctx.ResidentPages,
+		Attachments:   ctx.Attachments,
+	}
+}
+
+// awaitAck waits for the given acknowledgement of the current attempt,
+// bounded by the per-phase timeout (non-positive waits forever). Acks
+// from earlier attempts are skipped as stale — except a successful
+// OpMigrateAck, which is adopted (adopted true): the destination
+// completed that attempt's insertion, so the migration has in fact
+// succeeded. An OpSendFailed nack from the transport becomes
+// ErrPeerDead.
+func (mgr *Manager) awaitAck(p *sim.Proc, reply *ipc.Port, wantOp, attempt int, timeout time.Duration, procName, phase string) (ack *AckBody, adopted bool, err error) {
+	deadline := p.Now() + timeout
+	for {
+		var m *ipc.Message
+		if timeout <= 0 {
+			m = mgr.M.IPC.Receive(p, reply)
+		} else {
+			remain := deadline - p.Now()
+			if remain <= 0 {
+				return nil, false, fmt.Errorf("%w: %q awaiting ack in %s (attempt %d)",
+					ErrPhaseTimeout, procName, phase, attempt)
+			}
+			var got bool
+			m, got = mgr.M.IPC.ReceiveTimeout(p, reply, remain)
+			if !got {
+				return nil, false, fmt.Errorf("%w: %q awaiting ack in %s (attempt %d)",
+					ErrPhaseTimeout, procName, phase, attempt)
+			}
+		}
+		if m.Op == ipc.OpSendFailed {
+			reason := "unknown"
+			if sf, ok := m.Body.(*ipc.SendFailure); ok {
+				reason = sf.Reason
+			}
+			return nil, false, fmt.Errorf("%w: %q in %s (attempt %d): %s",
+				ErrPeerDead, procName, phase, attempt, reason)
+		}
+		ab, ok := m.Body.(*AckBody)
+		if !ok {
+			return nil, false, fmt.Errorf("core: malformed migration ack for %q: op %#x body %T",
+				procName, m.Op, m.Body)
+		}
+		if ab.Attempt != attempt {
+			if m.Op == OpMigrateAck && ab.Err == "" {
+				return ab, true, nil
+			}
+			continue // stale ack of an abandoned attempt
+		}
+		if m.Op != wantOp {
+			continue // duplicate of an already-consumed ack
+		}
+		return ab, false, nil
+	}
+}
+
+// rollback reinstates an excised process on the source machine from
+// its own context messages, leaving it stopped at its migration point
+// exactly as before the excise. The Context retains every collapsed
+// page (strategies other than PreCopied always ship or cache the
+// data), so insertion needs nothing from the network.
+func (mgr *Manager) rollback(p *sim.Proc, pr *machine.Process, ctx *Context, memSnap []*ipc.MemAttachment) error {
+	rb := ctx.RIMAS.Body.(*RIMASBody)
+	if rb.PreCopied {
+		return fmt.Errorf("core: cannot roll back %q: pre-copied pages live only at the destination", pr.Name)
+	}
+	ctx.RIMAS.Mem = memSnap
+	newPr, _, err := InsertProcess(p, mgr.M, ctx.Core, ctx.RIMAS, mgr.Tun)
+	if err != nil {
+		return fmt.Errorf("core: rollback of %q: %w", pr.Name, err)
+	}
+	// The process is back where the excise found it: stopped at its
+	// migration point, ready for a retry or a local resume.
+	newPr.Status = machine.AtMigrationPoint
+	newPr.AtMigrate.Open()
+	mgr.state(pr.Name, "RolledBack")
+	return nil
 }

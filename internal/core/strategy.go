@@ -49,5 +49,20 @@ func (s Strategy) String() string {
 // order.
 func Strategies() []Strategy { return []Strategy{PureIOU, ResidentSet, PureCopy} }
 
+// Degrade steps the strategy one rung down the reliability ladder:
+// each step sheds residual dependencies at the price of more up-front
+// copying, so a migration retried after a failure leans less on the
+// flaky network. PureIOU falls back to ResidentSet; everything else
+// falls back to PureCopy, which carries no residual dependency at all
+// and is the ladder's fixed point.
+func Degrade(s Strategy) Strategy {
+	switch s {
+	case PureIOU:
+		return ResidentSet
+	default:
+		return PureCopy
+	}
+}
+
 // PrefetchValues are the prefetch amounts evaluated in the paper.
 func PrefetchValues() []int { return []int{0, 1, 3, 7, 15} }

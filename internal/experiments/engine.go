@@ -48,6 +48,7 @@ type cacheKey struct {
 const (
 	variantGrid uint8 = iota
 	variantHold
+	variantResilience
 )
 
 // cacheEntry is a single-flight slot: the first requester computes, any
@@ -56,6 +57,7 @@ type cacheEntry struct {
 	done chan struct{}
 	tr   *TrialResult
 	hold *HoldResult
+	res  *ResilienceOutcome
 	err  error
 }
 
@@ -108,6 +110,12 @@ func (e *Engine) CachedCells() int {
 func (c Config) fingerprint() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%#v|%#v|%#v|%d", c.Machine, c.Link, c.tuning(), xrand.BaseSeed())
+	if c.Faults != nil {
+		fmt.Fprintf(h, "|%#v", *c.Faults)
+	}
+	if c.Recovery != nil {
+		fmt.Fprintf(h, "|R%#v", *c.Recovery)
+	}
 	return h.Sum64()
 }
 
@@ -164,11 +172,13 @@ func RunHoldTrial(cfg Config, k workload.Kind, strat core.Strategy) (*HoldResult
 	var rep *core.Report
 	var migErr error
 	tb.K.Go("driver", func(p *sim.Proc) {
-		rep, migErr = tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
+		opts := core.Options{
 			Strategy:         strat,
 			WaitMigratePoint: true,
 			HoldAtDest:       true,
-		})
+		}
+		cfg.applyRecovery(&opts)
+		rep, migErr = tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, opts)
 	})
 	tb.K.Run()
 	if migErr != nil {
@@ -189,6 +199,24 @@ func (e *Engine) HoldTrial(cfg Config, k workload.Kind, s core.Strategy) (*HoldR
 		close(ent.done)
 	}
 	return ent.hold, ent.err
+}
+
+// ResilienceTrial is the memoized form of RunResilienceTrial. The
+// trial options join the config in the cache key, so sweeps varying
+// retry budgets over one fault plan stay distinct.
+func (e *Engine) ResilienceTrial(cfg Config, k workload.Kind, s core.Strategy, ropts ResilienceOptions) (*ResilienceOutcome, error) {
+	if cfg.Sink != nil {
+		return RunResilienceTrial(cfg, k, s, ropts)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%#v", cfg.fingerprint(), ropts)
+	key := cacheKey{fp: h.Sum64(), variant: variantResilience, GridKey: GridKey{k, s, 0}}
+	ent, owner := e.lookup(key)
+	if owner {
+		ent.res, ent.err = RunResilienceTrial(cfg, k, s, ropts)
+		close(ent.done)
+	}
+	return ent.res, ent.err
 }
 
 // forParallel prepares a config for concurrent trials: a shared

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"accentmig/internal/core"
+	"accentmig/internal/faults"
 	"accentmig/internal/machine"
 	"accentmig/internal/metrics"
 	"accentmig/internal/netlink"
@@ -26,6 +27,17 @@ type Config struct {
 	Link    netlink.Config
 	Tuning  *core.Tuning // nil selects core.DefaultTuning
 
+	// Faults, when non-nil, is the failure scenario for every testbed
+	// built from this config: its drop schedule replaces the link's
+	// DropProb shorthand and its crashes are armed on the kernel.
+	Faults *faults.Plan
+
+	// Recovery, when non-nil, sets the source manager's retry policy
+	// (budget, degradation, per-phase deadline) for every migration
+	// trial run from this config. Nil keeps the fault-free default:
+	// no retries, the manager's default ack deadline.
+	Recovery *ResilienceOptions
+
 	// Sink, when non-nil, receives the flight-recorder event stream of
 	// every kernel built from this config.
 	Sink obs.Sink
@@ -38,6 +50,16 @@ func (c Config) tuning() core.Tuning {
 	return core.DefaultTuning()
 }
 
+// applyRecovery folds the config's retry policy into migration options.
+func (c Config) applyRecovery(opts *core.Options) {
+	if c.Recovery == nil {
+		return
+	}
+	opts.AckTimeout = c.Recovery.AckTimeout
+	opts.MaxRetries = c.Recovery.MaxRetries
+	opts.Degrade = c.Recovery.Degrade
+}
+
 // Testbed is the two-machine SPICE pair one trial runs on.
 type Testbed struct {
 	K        *sim.Kernel
@@ -46,10 +68,21 @@ type Testbed struct {
 	DstMgr   *core.Manager
 	Link     *netlink.Link
 	Rec      *metrics.Recorder
+
+	// phaseCrash holds crashes keyed to a migration phase, fired by
+	// FirePhase via the source manager's PhaseHook.
+	phaseCrash map[string][]faults.Crash
 }
 
-// NewTestbed assembles a fresh pair with a shared recorder.
+// NewTestbed assembles a fresh pair with a shared recorder. A fault
+// plan in the config is armed on the new kernel.
 func NewTestbed(cfg Config) *Testbed {
+	// A faulted run must terminate: the fault-free pager default waits
+	// forever for read replies (reliable link), which a crashed backer
+	// would turn into a silent wedge. Give it a finite retry budget.
+	if cfg.Faults != nil && cfg.Machine.Pager.RetryTimeout == 0 {
+		cfg.Machine.Pager.RetryTimeout = 10 * time.Second
+	}
 	k := sim.New()
 	if cfg.Sink != nil {
 		k.SetSink(cfg.Sink)
@@ -65,7 +98,76 @@ func NewTestbed(cfg Config) *Testbed {
 	dstMgr := core.NewManager(dst, cfg.tuning())
 	src.Net.AddRoute(dstMgr.Port.ID, "dst")
 	dst.Net.AddRoute(srcMgr.Port.ID, "src")
-	return &Testbed{K: k, Src: src, Dst: dst, SrcMgr: srcMgr, DstMgr: dstMgr, Link: link, Rec: rec}
+	tb := &Testbed{
+		K: k, Src: src, Dst: dst, SrcMgr: srcMgr, DstMgr: dstMgr, Link: link, Rec: rec,
+		phaseCrash: make(map[string][]faults.Crash),
+	}
+	if cfg.Faults != nil {
+		tb.ArmFaults(cfg.Faults)
+	}
+	return tb
+}
+
+// ArmFaults applies a fault plan to the testbed: the drop schedule
+// drives the link, time-keyed crashes get their own timer procs, and
+// phase-keyed crashes hook the source manager's migration phases.
+func (tb *Testbed) ArmFaults(plan *faults.Plan) {
+	tb.Link.SetFaults(faults.NewInjector(plan, ""))
+	for _, c := range plan.Crashes {
+		c := c
+		if c.AtPhase != "" {
+			tb.phaseCrash[c.AtPhase] = append(tb.phaseCrash[c.AtPhase], c)
+			continue
+		}
+		tb.K.Go("fault.crash."+c.Machine, func(p *sim.Proc) {
+			p.Sleep(time.Duration(c.At))
+			tb.runCrash(p, c)
+		})
+	}
+	if len(tb.phaseCrash) > 0 {
+		tb.SrcMgr.PhaseHook = tb.FirePhase
+	}
+}
+
+// FirePhase triggers any crash keyed to the named phase. The source
+// manager calls it as migration phases begin; resilience trial drivers
+// call it with "remote" once remote execution starts.
+func (tb *Testbed) FirePhase(p *sim.Proc, phase string) {
+	cs := tb.phaseCrash[phase]
+	if len(cs) == 0 {
+		return
+	}
+	delete(tb.phaseCrash, phase)
+	for _, c := range cs {
+		tb.runCrash(p, c)
+	}
+}
+
+// runCrash executes one scheduled crash: under the flush policy the
+// surviving machine first dissolves its residual dependencies on the
+// dying backer; then the named machine's backing service goes down.
+func (tb *Testbed) runCrash(p *sim.Proc, c faults.Crash) {
+	var m *machine.Machine
+	switch c.Machine {
+	case tb.Src.Name:
+		m = tb.Src
+	case tb.Dst.Name:
+		m = tb.Dst
+	default:
+		return
+	}
+	if c.Policy == faults.CrashFlush {
+		other := tb.Dst
+		if m == tb.Dst {
+			other = tb.Src
+		}
+		for _, name := range other.ProcNames() {
+			if pr, ok := other.Process(name); ok {
+				_, _ = core.DissolveIOUs(p, other, pr)
+			}
+		}
+	}
+	m.Net.Crash()
 }
 
 // TrialResult is everything measured from one migration trial.
@@ -145,11 +247,13 @@ func RunTrial(cfg Config, k workload.Kind, strat core.Strategy, prefetch int) (*
 	var migErr error
 	var doneAt time.Duration
 	tb.K.Go("trial-driver", func(p *sim.Proc) {
-		rep, err := tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, core.Options{
+		opts := core.Options{
 			Strategy:         strat,
 			Prefetch:         prefetch,
 			WaitMigratePoint: true,
-		})
+		}
+		cfg.applyRecovery(&opts)
+		rep, err := tb.SrcMgr.MigrateTo(p, k.String(), tb.DstMgr.Port.ID, opts)
 		if err != nil {
 			migErr = err
 			return
@@ -160,6 +264,9 @@ func RunTrial(cfg Config, k workload.Kind, strat core.Strategy, prefetch int) (*
 			migErr = fmt.Errorf("experiments: %v not on destination after migration", k)
 			return
 		}
+		// Crashes keyed to the "remote" phase fire once remote execution
+		// has begun (the manager's hook only covers source-side phases).
+		tb.FirePhase(p, "remote")
 		if err := npr.WaitDone(p); err != nil {
 			migErr = fmt.Errorf("experiments: %v remote execution: %w", k, err)
 			return

@@ -1,0 +1,244 @@
+// Package faults is the simulator's scriptable failure model: one
+// seed-deterministic Plan describes everything that goes wrong in a
+// trial — a base frame-drop probability, drop bursts and full link
+// partitions between virtual-time windows, and scheduled backer
+// crashes (keyed to a virtual time or to a migration phase). The
+// network layers consult a per-link Injector compiled from the plan
+// instead of carrying ad-hoc failure knobs, so the same plan replayed
+// with the same seed reproduces the same losses bit for bit.
+//
+// Plans are plain JSON (see docs/RESILIENCE.md for the format), so
+// failure scenarios can be versioned alongside experiment configs:
+//
+//	{
+//	  "seed": 7,
+//	  "dropProb": 0.05,
+//	  "bursts": [{"start": "2s", "end": "4s", "dropProb": 0.8}],
+//	  "partitions": [{"start": "10s", "end": "12s"}],
+//	  "crashes": [{"machine": "src", "atPhase": "remote", "policy": "zerofill"}]
+//	}
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"time"
+
+	"accentmig/internal/xrand"
+)
+
+// Duration is a time.Duration that marshals to and from JSON as a
+// human-readable string ("250ms", "1m30s"); bare numbers are accepted
+// as nanoseconds.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("faults: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Window is a half-open virtual-time interval [Start, End).
+type Window struct {
+	Start Duration `json:"start"`
+	End   Duration `json:"end"`
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Duration) bool {
+	return t >= time.Duration(w.Start) && t < time.Duration(w.End)
+}
+
+// Burst raises the drop probability to DropProb inside its window.
+type Burst struct {
+	Window
+	DropProb float64 `json:"dropProb"`
+}
+
+// CrashPolicy selects what happens to the IOUs a crashed backer still
+// owes (the orphaned-IOU policy of the recovery design).
+type CrashPolicy string
+
+const (
+	// CrashFail surfaces the loss: orphaned faults fail the process.
+	CrashFail CrashPolicy = "fail"
+	// CrashZeroFill degrades gracefully: orphaned faults zero-fill.
+	CrashZeroFill CrashPolicy = "zerofill"
+	// CrashFlush dissolves the residual dependency just before the
+	// crash, so nothing is orphaned (the pre-crash flush).
+	CrashFlush CrashPolicy = "flush"
+)
+
+// Crash schedules the failure of one machine's backing service. Either
+// At (a virtual time) or AtPhase (a migration phase name: excise,
+// xfer.core, xfer.rimas, remote) selects the moment.
+type Crash struct {
+	Machine string      `json:"machine"`
+	At      Duration    `json:"at,omitempty"`
+	AtPhase string      `json:"atPhase,omitempty"`
+	Policy  CrashPolicy `json:"policy,omitempty"`
+}
+
+// Plan is one complete, seed-deterministic fault scenario.
+type Plan struct {
+	// Seed drives every random stream the plan spawns; the same plan
+	// and seed reproduce the same losses exactly.
+	Seed uint64 `json:"seed"`
+	// DropProb is the base frame-loss probability outside bursts.
+	DropProb float64 `json:"dropProb,omitempty"`
+	// Bursts temporarily raise the drop probability.
+	Bursts []Burst `json:"bursts,omitempty"`
+	// Partitions drop every frame inside their windows.
+	Partitions []Window `json:"partitions,omitempty"`
+	// Crashes schedule backer failures.
+	Crashes []Crash `json:"crashes,omitempty"`
+}
+
+// FromDropRate compiles the legacy single-knob loss model (netlink's
+// old DropProb/DropSeed pair) into a plan. An injector built from it
+// with the empty stream name reproduces the legacy drop sequence bit
+// for bit.
+func FromDropRate(prob float64, seed uint64) *Plan {
+	return &Plan{Seed: seed, DropProb: prob}
+}
+
+// Parse decodes and validates a JSON plan.
+func Parse(b []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("faults: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads and parses a plan file.
+func Load(path string) (*Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	return Parse(b)
+}
+
+// Validate checks the plan's internal consistency.
+func (p *Plan) Validate() error {
+	if p.DropProb < 0 || p.DropProb > 1 {
+		return fmt.Errorf("faults: dropProb %v outside [0, 1]", p.DropProb)
+	}
+	for i, b := range p.Bursts {
+		if b.DropProb < 0 || b.DropProb > 1 {
+			return fmt.Errorf("faults: burst %d dropProb %v outside [0, 1]", i, b.DropProb)
+		}
+		if b.End <= b.Start {
+			return fmt.Errorf("faults: burst %d window [%v, %v) is empty", i,
+				time.Duration(b.Start), time.Duration(b.End))
+		}
+	}
+	for i, w := range p.Partitions {
+		if w.End <= w.Start {
+			return fmt.Errorf("faults: partition %d window [%v, %v) is empty", i,
+				time.Duration(w.Start), time.Duration(w.End))
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.Machine == "" {
+			return fmt.Errorf("faults: crash %d names no machine", i)
+		}
+		if c.AtPhase == "" && c.At <= 0 {
+			return fmt.Errorf("faults: crash %d has neither at nor atPhase", i)
+		}
+		switch c.Policy {
+		case "", CrashFail, CrashZeroFill, CrashFlush:
+		default:
+			return fmt.Errorf("faults: crash %d has unknown policy %q", i, c.Policy)
+		}
+	}
+	return nil
+}
+
+// Injector is a plan compiled for one link: the drop schedule plus a
+// private random stream. The zero-value nil injector is valid and
+// never drops.
+type Injector struct {
+	plan *Plan
+	rng  *xrand.RNG
+}
+
+// NewInjector compiles plan for one consumer. stream names the
+// consumer's private random stream so several links driven by one plan
+// lose different frames; the empty stream uses the plan seed directly,
+// which is what reproduces the legacy netlink drop sequence.
+func NewInjector(plan *Plan, stream string) *Injector {
+	if plan == nil {
+		return nil
+	}
+	seed := plan.Seed
+	if stream != "" {
+		h := fnv.New64a()
+		h.Write([]byte(stream))
+		seed ^= h.Sum64()
+	}
+	return &Injector{plan: plan, rng: xrand.New(seed)}
+}
+
+// Active reports whether the injector can ever drop a frame. Reliable
+// transports use it to skip ack/retransmit machinery entirely, keeping
+// fault-free simulations byte-identical to the pre-fault code.
+func (in *Injector) Active() bool {
+	if in == nil {
+		return false
+	}
+	return in.plan.DropProb > 0 || len(in.plan.Bursts) > 0 || len(in.plan.Partitions) > 0
+}
+
+// Drop decides the fate of one frame transmitted at virtual time now.
+// Partitions drop deterministically without consuming randomness; a
+// burst covering now overrides the base probability upward; the random
+// stream is only drawn when the effective probability is positive, so
+// a plan's drop sequence is stable under schedule extensions.
+func (in *Injector) Drop(now time.Duration) bool {
+	if in == nil {
+		return false
+	}
+	for _, w := range in.plan.Partitions {
+		if w.Contains(now) {
+			return true
+		}
+	}
+	prob := in.plan.DropProb
+	for _, b := range in.plan.Bursts {
+		if b.Contains(now) && b.DropProb > prob {
+			prob = b.DropProb
+		}
+	}
+	if prob <= 0 {
+		return false
+	}
+	return in.rng.Float64() < prob
+}

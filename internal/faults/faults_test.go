@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"accentmig/internal/xrand"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	src := `{
+		"seed": 7,
+		"dropProb": 0.05,
+		"bursts": [{"start": "2s", "end": "4s", "dropProb": 0.8}],
+		"partitions": [{"start": "10s", "end": "12s"}],
+		"crashes": [
+			{"machine": "src", "atPhase": "remote", "policy": "zerofill"},
+			{"machine": "dst", "at": "1m30s", "policy": "fail"}
+		]
+	}`
+	p, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.DropProb != 0.05 {
+		t.Fatalf("seed/dropProb: %+v", p)
+	}
+	if len(p.Bursts) != 1 || time.Duration(p.Bursts[0].Start) != 2*time.Second || p.Bursts[0].DropProb != 0.8 {
+		t.Fatalf("bursts: %+v", p.Bursts)
+	}
+	if len(p.Partitions) != 1 || time.Duration(p.Partitions[0].End) != 12*time.Second {
+		t.Fatalf("partitions: %+v", p.Partitions)
+	}
+	if len(p.Crashes) != 2 || p.Crashes[0].AtPhase != "remote" || p.Crashes[0].Policy != CrashZeroFill {
+		t.Fatalf("crashes: %+v", p.Crashes)
+	}
+	if time.Duration(p.Crashes[1].At) != 90*time.Second {
+		t.Fatalf("crash at: %v", p.Crashes[1].At)
+	}
+
+	// Marshal and re-parse: the plan must survive unchanged.
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(b)
+	if err != nil {
+		t.Fatalf("re-parse %s: %v", b, err)
+	}
+	if p2.DropProb != p.DropProb || len(p2.Crashes) != 2 || p2.Crashes[1].At != p.Crashes[1].At {
+		t.Fatalf("round trip changed the plan: %+v vs %+v", p, p2)
+	}
+}
+
+func TestDurationAcceptsNanoseconds(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte("1500000000"), &d); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 1500*time.Millisecond {
+		t.Fatalf("got %v", time.Duration(d))
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	bad := []string{
+		`{"dropProb": 1.5}`,
+		`{"bursts": [{"start": "2s", "end": "1s", "dropProb": 0.5}]}`,
+		`{"bursts": [{"start": "1s", "end": "2s", "dropProb": -0.1}]}`,
+		`{"partitions": [{"start": "2s", "end": "2s"}]}`,
+		`{"crashes": [{"at": "1s"}]}`,
+		`{"crashes": [{"machine": "src"}]}`,
+		`{"crashes": [{"machine": "src", "at": "1s", "policy": "explode"}]}`,
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("Parse(%s) accepted an invalid plan", src)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 3, "dropProb": 0.1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 3 || p.DropProb != 0.1 {
+		t.Fatalf("got %+v", p)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}
+
+// TestInjectorMatchesLegacySequence pins the compatibility contract:
+// an injector built from FromDropRate with the empty stream name draws
+// the same decisions the old netlink DropProb/DropSeed knob did.
+func TestInjectorMatchesLegacySequence(t *testing.T) {
+	const prob, seed = 0.3, uint64(42)
+	inj := NewInjector(FromDropRate(prob, seed), "")
+	rng := xrand.New(seed)
+	for i := 0; i < 10_000; i++ {
+		want := rng.Float64() < prob
+		if got := inj.Drop(time.Duration(i) * time.Millisecond); got != want {
+			t.Fatalf("decision %d: injector %v, legacy %v", i, got, want)
+		}
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	plan := &Plan{Seed: 9, DropProb: 0.2,
+		Bursts:     []Burst{{Window: Window{Start: Duration(time.Second), End: Duration(2 * time.Second)}, DropProb: 0.9}},
+		Partitions: []Window{{Start: Duration(5 * time.Second), End: Duration(6 * time.Second)}},
+	}
+	a, b := NewInjector(plan, ""), NewInjector(plan, "")
+	for i := 0; i < 10_000; i++ {
+		now := time.Duration(i) * time.Millisecond
+		if a.Drop(now) != b.Drop(now) {
+			t.Fatalf("injectors diverged at %v", now)
+		}
+	}
+}
+
+func TestInjectorStreamsDiffer(t *testing.T) {
+	plan := FromDropRate(0.5, 1)
+	a, b := NewInjector(plan, "link-a"), NewInjector(plan, "link-b")
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Drop(0) != b.Drop(0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct streams produced identical drop sequences")
+	}
+}
+
+func TestPartitionsDropWithoutRandomness(t *testing.T) {
+	plan := &Plan{Seed: 1, DropProb: 0.5,
+		Partitions: []Window{{Start: 0, End: Duration(time.Second)}}}
+	a := NewInjector(plan, "")
+	// Drops inside the partition must not consume the random stream:
+	// afterwards, a fresh injector still agrees decision for decision.
+	for i := 0; i < 100; i++ {
+		if !a.Drop(500 * time.Millisecond) {
+			t.Fatal("frame survived a partition")
+		}
+	}
+	b := NewInjector(plan, "")
+	for i := 0; i < 1000; i++ {
+		if a.Drop(2*time.Second) != b.Drop(2*time.Second) {
+			t.Fatalf("partition drops consumed randomness (diverged at %d)", i)
+		}
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Active() {
+		t.Fatal("nil injector active")
+	}
+	if in.Drop(0) {
+		t.Fatal("nil injector dropped")
+	}
+	if NewInjector(nil, "x") != nil {
+		t.Fatal("NewInjector(nil) != nil")
+	}
+}
+
+func TestActive(t *testing.T) {
+	cases := []struct {
+		plan *Plan
+		want bool
+	}{
+		{&Plan{}, false},
+		{&Plan{Seed: 4, Crashes: []Crash{{Machine: "src", At: Duration(time.Second)}}}, false},
+		{&Plan{DropProb: 0.01}, true},
+		{&Plan{Bursts: []Burst{{Window: Window{End: Duration(time.Second)}, DropProb: 1}}}, true},
+		{&Plan{Partitions: []Window{{End: Duration(time.Second)}}}, true},
+	}
+	for i, c := range cases {
+		if got := NewInjector(c.plan, "").Active(); got != c.want {
+			t.Errorf("case %d: Active() = %v, want %v", i, got, c.want)
+		}
+	}
+}

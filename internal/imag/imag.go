@@ -27,6 +27,10 @@ const (
 	OpFlush = 0x1004
 	// OpFlushReply carries the flushed pages. Body: *ReadReply.
 	OpFlushReply = 0x1005
+	// OpReadError tells the faulter its request can never be satisfied
+	// (dead segment, page not held) so it stops retrying. Body:
+	// *ReadError.
+	OpReadError = 0x1006
 )
 
 // ReadRequest is the body of an imaginary fault message.
@@ -61,14 +65,31 @@ func (r *ReadReply) Bytes() int {
 	return n
 }
 
+// ReadError is the body of a negative imaginary fault reply: the
+// backer can never produce the page, so the faulter must not retry.
+type ReadError struct {
+	SegID   uint64
+	PageIdx uint64
+	Reason  string
+}
+
+// ReadErrorBytes is the encoded size of a ReadError body.
+const ReadErrorBytes = 48
+
 // SegmentDeath is the body of a death notification.
 type SegmentDeath struct{ SegID uint64 }
 
 // SegmentDeathBytes is the encoded size of a SegmentDeath body.
 const SegmentDeathBytes = 16
 
-// FlushRequest asks for every still-owed page of a segment.
-type FlushRequest struct{ SegID uint64 }
+// FlushRequest asks for still-owed pages of a segment. MaxPages
+// bounds the reply (0 means everything): a bounded flush lets demand
+// read requests interleave with the bulk transfer instead of queuing
+// behind one enormous reply for the whole residual dependency.
+type FlushRequest struct {
+	SegID    uint64
+	MaxPages int
+}
 
 // FlushRequestBytes is the encoded size of a FlushRequest body.
 const FlushRequestBytes = 16
@@ -206,7 +227,13 @@ func (g *StoreSegment) Serve(req *ReadRequest) *ReadReply {
 
 // FlushAll returns every undelivered page in index order and marks them
 // delivered. Used to dissolve the residual dependency eagerly.
-func (g *StoreSegment) FlushAll() *ReadReply {
+func (g *StoreSegment) FlushAll() *ReadReply { return g.Flush(0) }
+
+// Flush returns up to max undelivered pages in index order and marks
+// them delivered (max <= 0 means all). Callers dissolve a large
+// residual dependency with a sequence of bounded flushes so the backer
+// stays responsive to concurrent demand reads.
+func (g *StoreSegment) Flush(max int) *ReadReply {
 	var idxs []uint64
 	for idx := range g.pages {
 		if !g.delivered[idx] {
@@ -214,6 +241,9 @@ func (g *StoreSegment) FlushAll() *ReadReply {
 		}
 	}
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	if max > 0 && len(idxs) > max {
+		idxs = idxs[:max]
+	}
 	rep := &ReadReply{SegID: g.ID}
 	for _, idx := range idxs {
 		rep.Pages = append(rep.Pages, PageData{Index: idx, Data: g.pages[idx]})

@@ -30,6 +30,23 @@ var nextPortID atomic.Uint64
 // ErrDeadPort is returned when sending to a deallocated or unknown port.
 var ErrDeadPort = errors.New("ipc: send to dead port")
 
+// OpSendFailed is a local-only negative acknowledgement: when a
+// reliable transport declares the peer dead after exhausting
+// retransmits, it synthesizes this message to the sender's local
+// ReplyTo port so the waiter unblocks with a cause instead of timing
+// out. It never crosses the wire and has no codec. Body: *SendFailure.
+const OpSendFailed = 0x0F01
+
+// SendFailure describes the message a transport gave up on.
+type SendFailure struct {
+	To     PortID // destination of the failed message
+	Op     int    // its operation code
+	Reason string
+}
+
+// SendFailureBytes is the accounting size of a SendFailure body.
+const SendFailureBytes = 32
+
 // Port is a protected kernel message queue. The process holding Receive
 // rights drains it; anyone naming the ID can send.
 type Port struct {

@@ -8,10 +8,10 @@ package netlink
 import (
 	"time"
 
+	"accentmig/internal/faults"
 	"accentmig/internal/metrics"
 	"accentmig/internal/obs"
 	"accentmig/internal/sim"
-	"accentmig/internal/xrand"
 )
 
 // Config sets the link's characteristics. Zero values select defaults
@@ -22,7 +22,8 @@ type Config struct {
 	// BytesPerSecond is the raw medium rate.
 	BytesPerSecond int
 	// DropProb is the probability a frame is lost (failure injection);
-	// zero for a reliable link.
+	// zero for a reliable link. It is shorthand that compiles to a
+	// single-knob faults.Plan; richer scenarios use SetFaults.
 	DropProb float64
 	// DropSeed seeds the drop stream.
 	DropSeed uint64
@@ -45,7 +46,7 @@ type Link struct {
 	k    *sim.Kernel
 	name string
 	wire *sim.Resource
-	rng  *xrand.RNG
+	inj  *faults.Injector
 	rec  *metrics.Recorder
 
 	frames    uint64
@@ -56,14 +57,27 @@ type Link struct {
 // New returns a link on kernel k.
 func New(k *sim.Kernel, name string, cfg Config) *Link {
 	cfg = cfg.withDefaults()
-	return &Link{
+	l := &Link{
 		cfg:  cfg,
 		k:    k,
 		name: name,
 		wire: sim.NewResource(k, name+".wire", 1),
-		rng:  xrand.New(cfg.DropSeed),
 	}
+	if cfg.DropProb > 0 {
+		// The empty stream name reproduces the pre-plan drop sequence
+		// for a given DropSeed exactly.
+		l.inj = faults.NewInjector(faults.FromDropRate(cfg.DropProb, cfg.DropSeed), "")
+	}
+	return l
 }
+
+// SetFaults replaces the link's failure model with inj (nil restores a
+// reliable link). Call before traffic starts.
+func (l *Link) SetFaults(inj *faults.Injector) { l.inj = inj }
+
+// MayDrop reports whether the link can ever lose a frame. Transports
+// consult it to decide whether acknowledgement machinery is needed.
+func (l *Link) MayDrop() bool { return l.inj.Active() }
 
 // SetRecorder directs byte accounting to rec (may be nil to disable).
 // Wire-contention waits feed the recorder's "wait.wire" distribution.
@@ -108,7 +122,7 @@ func (l *Link) Transmit(p *sim.Proc, n int, fault bool) bool {
 			Dur:     l.k.Now() - start,
 		})
 	}
-	if l.cfg.DropProb > 0 && l.rng.Float64() < l.cfg.DropProb {
+	if l.inj.Drop(l.k.Now()) {
 		l.drops++
 		return false
 	}

@@ -50,6 +50,21 @@ type Config struct {
 	// FragHeadroom is extra per-fragment capacity for protocol headers,
 	// so a one-page payload plus its headers still fits one fragment.
 	FragHeadroom int
+
+	// Reliable-delivery parameters. They engage only on links that can
+	// drop frames (link.MayDrop()); on reliable links the transport
+	// behaves — and costs — exactly as it did before they existed.
+
+	// AckBytes is the payload size of an acknowledgement frame.
+	AckBytes int
+	// RetransmitBackoff is the initial wait before resending an
+	// unacknowledged frame; it doubles per attempt up to MaxBackoff.
+	RetransmitBackoff time.Duration
+	// MaxBackoff caps the exponential backoff.
+	MaxBackoff time.Duration
+	// MaxAttempts is how many times a frame is sent before the peer is
+	// declared dead. Default 10.
+	MaxAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +95,18 @@ func (c Config) withDefaults() Config {
 	if c.FragHeadroom == 0 {
 		c.FragHeadroom = 128
 	}
+	if c.AckBytes == 0 {
+		c.AckBytes = 32
+	}
+	if c.RetransmitBackoff == 0 {
+		c.RetransmitBackoff = 200 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 10
+	}
 	return c
 }
 
@@ -90,8 +117,15 @@ type Stats struct {
 	DeadLetters uint64 // inbound messages with no local port or route
 	CachedPages uint64 // pages absorbed into the IOU cache
 	Served      uint64 // read requests answered from the cache
-	Retransmits uint64 // bulk fragments resent after injected loss
-	Lost        uint64 // single-fragment messages lost to injected drops
+	Retransmits uint64 // frames resent after injected loss
+	Lost        uint64 // messages abandoned after the peer was declared dead
+
+	// Reliable-transport counters (lossy links only).
+	AckFrames       uint64        // acknowledgement frames sent by the peer
+	Duplicates      uint64        // retransmitted frames the peer had already seen
+	DeadPeers       uint64        // retransmit budgets exhausted
+	RetransmitBytes uint64        // wire bytes consumed by resends
+	BackoffTime     time.Duration // total virtual time spent waiting to resend
 }
 
 // Server is one machine's NetMsgServer.
@@ -248,25 +282,37 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 	var handling time.Duration
 
 	if frags == 1 {
-		// Single-fragment datagram: lost for real under injected drops;
-		// recovery is the requester's business (pager retry). Control
-		// messages are cheaper to process than data-bearing ones.
+		// Control messages are cheaper to process than data-bearing
+		// ones.
 		perSide := s.cfg.FragCPU
 		if bytes <= s.cfg.SmallBytes {
 			perSide = s.cfg.SmallCPU
 		}
-		s.cpu.UseHigh(p, perSide)
-		handling += perSide
-		if !pl.link.Transmit(p, bytes+s.cfg.FrameOverhead, m.FaultSupport) {
-			s.stats.Lost++
-			s.account(m, handling)
-			return
+		if pl.link.MayDrop() {
+			// Lossy link: sequence-numbered ack/retransmit datagram. A
+			// lost control message now produces a retransmit (and
+			// eventually a dead-peer nack) instead of wedging the
+			// receiver forever.
+			delivered, h := s.sendReliable(p, pl, m, bytes, perSide)
+			handling += h
+			if !delivered {
+				s.stats.Lost++
+				s.account(m, handling)
+				s.nack(p, m)
+				return
+			}
+		} else {
+			s.cpu.UseHigh(p, perSide)
+			handling += perSide
+			pl.link.Transmit(p, bytes+s.cfg.FrameOverhead, m.FaultSupport)
+			pl.peer.cpu.UseHigh(p, perSide)
+			handling += perSide
 		}
-		pl.peer.cpu.UseHigh(p, perSide)
-		handling += perSide
 	} else {
-		// Multi-fragment transfer: per-fragment ARQ makes it reliable
-		// at the cost of retransmission time and bytes.
+		// Multi-fragment transfer: stop-and-wait per-fragment ARQ makes
+		// it reliable at the cost of retransmission time and bytes. A
+		// fragment that exhausts its retransmit budget declares the
+		// peer dead and abandons the whole transfer.
 		rem := bytes
 		for f := 0; f < frags; f++ {
 			n := unit
@@ -274,13 +320,25 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 				n = rem
 			}
 			rem -= n
-			for {
+			sent := false
+			backoff := s.cfg.RetransmitBackoff
+			for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+				if attempt > 0 {
+					backoff = s.backoffWait(p, backoff, n+s.cfg.FrameOverhead, m.Op)
+				}
 				s.cpu.UseHigh(p, s.cfg.FragCPU)
 				handling += s.cfg.FragCPU
 				if pl.link.Transmit(p, n+s.cfg.FrameOverhead, m.FaultSupport) {
+					sent = true
 					break
 				}
-				s.stats.Retransmits++
+			}
+			if !sent {
+				s.stats.DeadPeers++
+				s.stats.Lost++
+				s.account(m, handling)
+				s.nack(p, m)
+				return
 			}
 			pl.peer.cpu.UseHigh(p, s.cfg.FragCPU)
 			handling += s.cfg.FragCPU
@@ -304,6 +362,102 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 func (s *Server) account(m *ipc.Message, cpu time.Duration) {
 	if s.rec != nil {
 		s.rec.AddMessage(cpu)
+	}
+}
+
+// backoffWait charges one retransmission: it sleeps the current
+// backoff, records the resend in stats/metrics/trace, and returns the
+// next (doubled, capped) backoff.
+func (s *Server) backoffWait(p *sim.Proc, backoff time.Duration, frame int, op int) time.Duration {
+	p.Sleep(backoff)
+	s.stats.BackoffTime += backoff
+	s.stats.Retransmits++
+	s.stats.RetransmitBytes += uint64(frame)
+	if s.rec != nil {
+		s.rec.Inc("net.retransmit.frames", 1)
+		s.rec.Inc("net.retransmit.bytes", uint64(frame))
+	}
+	if s.k.Tracing() {
+		s.k.Emit(obs.Event{
+			Kind:    obs.NetRetransmit,
+			Machine: s.name,
+			Proc:    p.Name(),
+			Bytes:   frame,
+			Dur:     backoff,
+			Op:      op,
+		})
+	}
+	backoff *= 2
+	if backoff > s.cfg.MaxBackoff {
+		backoff = s.cfg.MaxBackoff
+	}
+	return backoff
+}
+
+// sendReliable pushes a single-fragment message across a lossy link as
+// a sequence-numbered datagram: send, await ack, retransmit with
+// capped exponential backoff, and declare the peer dead after
+// MaxAttempts sends. It reports whether the message reached the peer;
+// handling is the CPU charged. A duplicate (data arrived but its ack
+// was lost) costs the peer only cheap recognition by sequence number.
+func (s *Server) sendReliable(p *sim.Proc, pl *peerLink, m *ipc.Message, bytes int, perSide time.Duration) (bool, time.Duration) {
+	var handling time.Duration
+	frame := bytes + s.cfg.FrameOverhead
+	backoff := s.cfg.RetransmitBackoff
+	delivered := false
+	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			backoff = s.backoffWait(p, backoff, frame, m.Op)
+		}
+		s.cpu.UseHigh(p, perSide)
+		handling += perSide
+		if !pl.link.Transmit(p, frame, m.FaultSupport) {
+			continue
+		}
+		if !delivered {
+			pl.peer.cpu.UseHigh(p, perSide)
+			handling += perSide
+			delivered = true
+		} else {
+			s.stats.Duplicates++
+			pl.peer.cpu.UseHigh(p, s.cfg.SmallCPU)
+			handling += s.cfg.SmallCPU
+		}
+		s.stats.AckFrames++
+		if pl.link.Transmit(p, s.cfg.AckBytes+s.cfg.FrameOverhead, m.FaultSupport) {
+			return true, handling
+		}
+	}
+	if delivered {
+		// The data arrived; only acks were lost. The peer holds the
+		// message, so deliver it — the sender-side Lost/nack path is
+		// reserved for messages that never got through.
+		return true, handling
+	}
+	s.stats.DeadPeers++
+	return false, handling
+}
+
+// nack synthesizes a local OpSendFailed to the abandoned message's
+// reply port after a dead-peer declaration, so a caller blocked on
+// that port unblocks with a cause instead of waiting out its timeout.
+// Only a locally present reply port is notified; inbound dead letters
+// on the peer are never nacked across the wire.
+func (s *Server) nack(p *sim.Proc, m *ipc.Message) {
+	if m.ReplyTo == 0 {
+		return
+	}
+	if _, local := s.sys.Lookup(m.ReplyTo); !local {
+		return
+	}
+	err := s.sys.Send(p, &ipc.Message{
+		Op:        ipc.OpSendFailed,
+		To:        m.ReplyTo,
+		Body:      &ipc.SendFailure{To: m.To, Op: m.Op, Reason: "peer unreachable"},
+		BodyBytes: ipc.SendFailureBytes,
+	})
+	if err != nil {
+		s.stats.DeadLetters++
 	}
 }
 
@@ -374,12 +528,25 @@ func (s *Server) backer(p *sim.Proc) {
 			if !ok {
 				continue
 			}
-			seg, ok := s.store.Segment(req.SegID)
-			if !ok {
-				continue // dead segment; requester will retry and fail
+			seg, live := s.store.Segment(req.SegID)
+			var rep *imag.ReadReply
+			if live {
+				rep = seg.Serve(req)
 			}
-			rep := seg.Serve(req)
 			if rep == nil {
+				// Dead segment or page never cached: tell the faulter
+				// its request can never succeed, so it surfaces a typed
+				// error instead of retrying forever.
+				reason := "segment dead"
+				if live {
+					reason = "page not held"
+				}
+				s.cpu.UseHigh(p, s.cfg.ServeCPU)
+				s.replyErr(p, m, &imag.ReadError{
+					SegID:   req.SegID,
+					PageIdx: req.PageIdx,
+					Reason:  reason,
+				})
 				continue
 			}
 			s.cpu.UseHigh(p, s.cfg.ServeCPU)
@@ -407,7 +574,7 @@ func (s *Server) backer(p *sim.Proc) {
 			if !ok {
 				continue
 			}
-			rep := seg.FlushAll()
+			rep := seg.Flush(req.MaxPages)
 			s.cpu.UseHigh(p, s.cfg.ServeCPU)
 			s.reply(p, m, imag.OpFlushReply, rep)
 		case imag.OpSegmentDeath:
@@ -415,6 +582,23 @@ func (s *Server) backer(p *sim.Proc) {
 				s.store.Drop(d.SegID)
 			}
 		}
+	}
+}
+
+// replyErr sends a negative read reply to the requester.
+func (s *Server) replyErr(p *sim.Proc, req *ipc.Message, e *imag.ReadError) {
+	if req.ReplyTo == 0 {
+		return
+	}
+	err := s.sys.Send(p, &ipc.Message{
+		Op:           imag.OpReadError,
+		To:           req.ReplyTo,
+		Body:         e,
+		BodyBytes:    imag.ReadErrorBytes,
+		FaultSupport: true,
+	})
+	if err != nil {
+		s.stats.DeadLetters++
 	}
 }
 

@@ -53,6 +53,9 @@ const (
 	// LinkXmit is one frame crossing a network link; Dur includes
 	// medium contention and propagation.
 	LinkXmit
+	// NetRetransmit is a reliable-transport retransmission after a lost
+	// frame; Dur is the backoff waited before resending.
+	NetRetransmit
 
 	numKinds
 )
@@ -80,6 +83,8 @@ func (k Kind) String() string {
 		return "StateChange"
 	case LinkXmit:
 		return "LinkXmit"
+	case NetRetransmit:
+		return "NetRetransmit"
 	default:
 		return "Kind(?)"
 	}

@@ -33,6 +33,23 @@ var ErrAddressError = errors.New("pager: address error (BadMem)")
 // after all retries.
 var ErrBackerLost = errors.New("pager: imaginary read request unanswered")
 
+// ErrSegmentDead reports that the backer answered an imaginary fault
+// with a definitive refusal (the segment was dropped or never held the
+// page) — retrying can never succeed.
+var ErrSegmentDead = errors.New("pager: imaginary segment dead at backer")
+
+// OrphanPolicy selects what happens to an imaginary fault whose backer
+// is gone (dead peer, crashed backer, dead segment).
+type OrphanPolicy int
+
+const (
+	// OrphanFail surfaces the loss as an error to the faulting process.
+	OrphanFail OrphanPolicy = iota
+	// OrphanZeroFill degrades the orphaned fault to a FillZero: the
+	// process continues with a zero page instead of dying.
+	OrphanZeroFill
+)
+
 // Config sets the fault cost model. Zero values select defaults
 // calibrated so a local disk fault lands near the paper's 40.8 ms and a
 // remote imaginary fault near 115 ms.
@@ -53,6 +70,9 @@ type Config struct {
 	RetryTimeout time.Duration
 	// MaxRetries bounds resends when RetryTimeout is set.
 	MaxRetries int
+	// Orphan selects the fate of faults whose backer is unreachable or
+	// definitively gone. Default OrphanFail.
+	Orphan OrphanPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +101,7 @@ type Stats struct {
 	ImagFaults uint64
 	MapIns     uint64 // cheap missing-mapping completions
 	Retries    uint64
+	ZeroFills  uint64 // orphaned imaginary faults resolved by zero-fill
 
 	PrefetchedPages uint64 // extra pages that arrived with fault replies
 	PrefetchHits    uint64 // prefetched pages later touched
@@ -326,6 +347,13 @@ func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
 
 	var rep *ipc.Message
 	for attempt := 0; ; attempt++ {
+		// A concurrent bulk flush (core.DissolveIOUs) may have
+		// materialized the page while this fault was waiting on the
+		// wire; the owed data is already here, so stop asking for it.
+		if pl.Seg.Page(pl.PageIdx) != nil {
+			pg.insert(pl.Seg, pl.PageIdx)
+			return nil
+		}
 		m := &ipc.Message{
 			Op:           imag.OpReadRequest,
 			To:           ipc.PortID(pl.Seg.BackingPort),
@@ -335,7 +363,8 @@ func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
 			FaultSupport: true,
 		}
 		if err := pg.sys.Send(p, m); err != nil {
-			return fmt.Errorf("pager: imaginary fault on seg %d page %d: %w", pl.Seg.ID, pl.PageIdx, err)
+			return pg.orphan(p, pl,
+				fmt.Errorf("pager: imaginary fault on seg %d page %d: %w", pl.Seg.ID, pl.PageIdx, err))
 		}
 		if pg.cfg.RetryTimeout <= 0 {
 			rep = pg.sys.Receive(p, reply)
@@ -349,9 +378,23 @@ func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
 		pg.stats.Retries++
 		pg.inc("fault.retry")
 		if attempt >= pg.cfg.MaxRetries {
-			return fmt.Errorf("%w: seg %d page %d after %d attempts",
-				ErrBackerLost, pl.Seg.ID, pl.PageIdx, attempt+1)
+			return pg.orphan(p, pl, fmt.Errorf("%w: seg %d page %d after %d attempts",
+				ErrBackerLost, pl.Seg.ID, pl.PageIdx, attempt+1))
 		}
+	}
+
+	switch rep.Op {
+	case ipc.OpSendFailed:
+		// The transport declared the backer's machine unreachable.
+		return pg.orphan(p, pl, fmt.Errorf("%w: seg %d page %d: peer unreachable",
+			ErrBackerLost, pl.Seg.ID, pl.PageIdx))
+	case imag.OpReadError:
+		reason := "no reason"
+		if e, ok := rep.Body.(*imag.ReadError); ok {
+			reason = e.Reason
+		}
+		return pg.orphan(p, pl, fmt.Errorf("%w: seg %d page %d: %s",
+			ErrSegmentDead, pl.Seg.ID, pl.PageIdx, reason))
 	}
 
 	body, ok := rep.Body.(*imag.ReadReply)
@@ -370,5 +413,27 @@ func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
 			pg.inc("prefetch.page")
 		}
 	}
+	return nil
+}
+
+// orphan applies the configured policy to a fault whose backer can
+// never answer: OrphanFail returns cause to the faulting process;
+// OrphanZeroFill degrades the fault to a FillZero and lets execution
+// continue with a zero page.
+func (pg *Pager) orphan(p *sim.Proc, pl vm.Place, cause error) error {
+	if pl.Seg.Page(pl.PageIdx) != nil {
+		// The page arrived by other means (bulk flush, prefetch) while
+		// the doomed request was outstanding — no orphan after all.
+		pg.insert(pl.Seg, pl.PageIdx)
+		return nil
+	}
+	if pg.cfg.Orphan != OrphanZeroFill {
+		return cause
+	}
+	pg.cpu.UseHigh(p, pg.cfg.FillZeroCPU)
+	pl.Seg.MaterializeZero(pl.PageIdx)
+	pg.insert(pl.Seg, pl.PageIdx)
+	pg.stats.ZeroFills++
+	pg.inc("fault.zerofill.orphan")
 	return nil
 }

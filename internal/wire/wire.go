@@ -300,6 +300,27 @@ func init() {
 			return &imag.SegmentDeath{SegID: r.u64()}, nil
 		},
 	})
+	RegisterBody(imag.OpReadError, BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			e, ok := v.(*imag.ReadError)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *imag.ReadError, got %T", v)
+			}
+			w := &buf{}
+			w.u64(e.SegID)
+			w.u64(e.PageIdx)
+			w.str(e.Reason)
+			return w.b, nil, nil
+		},
+		Decode: func(b []byte, _ []any) (any, error) {
+			r := &rdr{b: b}
+			return &imag.ReadError{
+				SegID:   r.u64(),
+				PageIdx: r.u64(),
+				Reason:  r.str(),
+			}, nil
+		},
+	})
 	RegisterBody(imag.OpFlush, BodyCodec{
 		Encode: func(v any) ([]byte, []any, error) {
 			f, ok := v.(*imag.FlushRequest)
@@ -308,11 +329,12 @@ func init() {
 			}
 			w := &buf{}
 			w.u64(f.SegID)
+			w.u32(uint32(f.MaxPages))
 			return w.b, nil, nil
 		},
 		Decode: func(b []byte, _ []any) (any, error) {
 			r := &rdr{b: b}
-			return &imag.FlushRequest{SegID: r.u64()}, nil
+			return &imag.FlushRequest{SegID: r.u64(), MaxPages: int(r.u32())}, nil
 		},
 	})
 }
