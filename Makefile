@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check faultcheck report bench clean
+.PHONY: all build test race vet check faultcheck benchsmoke report bench clean
 
 all: build
 
@@ -16,7 +16,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race faultcheck
+check: build vet test race faultcheck benchsmoke
 
 # Fault-injection determinism gate: the resilience experiment — lossy
 # sweeps, crashes, a partition — must be byte-identical across two
@@ -27,14 +27,26 @@ faultcheck:
 	cmp /tmp/faultcheck.a /tmp/faultcheck.b
 	@echo "faultcheck: resilience output is deterministic"
 
+# Allocation-regression gate: the memory data plane's steady-state
+# paths (resident faults, re-materialization, eviction churn, AMap
+# rebuild, pool recycling) must stay at zero heap allocations, and the
+# VM microbenchmark bodies must run clean at a token iteration count.
+benchsmoke:
+	$(GO) test -count=1 -run 'TestAllocs' -v ./internal/vm/ | grep -v '^=== RUN'
+	$(GO) test -count=1 -run xxx -bench . -benchtime 100x ./internal/vmbench/
+	@echo "benchsmoke: zero-alloc gates hold"
+
 # Regenerate the measured side of EXPERIMENTS.md.
 report:
 	$(GO) run ./cmd/migreport > EXPERIMENTS.md
 
-# Regenerate the simulator-performance baseline (per-cell wall-clock
-# plus sequential-vs-engine sweep timings).
+# Regenerate the simulator-performance baselines: per-cell wall-clock
+# plus sequential-vs-engine sweep timings (BENCH_grid.json) and the
+# VM-layer microbenchmarks (BENCH_vm.json). The engine sweep pins four
+# workers so the parallel measurement exercises real contention even on
+# single-core runners.
 bench:
-	$(GO) run ./cmd/migbench -o BENCH_grid.json
+	$(GO) run ./cmd/migbench -parallel 4 -o BENCH_grid.json -vm BENCH_vm.json
 
 clean:
 	$(GO) clean ./...

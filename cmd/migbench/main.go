@@ -11,10 +11,15 @@
 // sequentially, once through the parallel engine on a fresh cache — and
 // reports the end-to-end speedup.
 //
+// It also measures the VM-layer microbenchmarks (resident-touch
+// latency, sparse-4GB AMap rebuild, COW break) with allocation counts
+// and writes them to a second report (BENCH_vm.json by default).
+//
 // Usage:
 //
-//	migbench                 # full grid -> BENCH_grid.json
+//	migbench                 # full grid -> BENCH_grid.json, vm -> BENCH_vm.json
 //	migbench -o out.json -kinds Minprog,Chess -parallel 8
+//	migbench -vmonly -vm /tmp/vm.json
 package main
 
 import (
@@ -57,7 +62,18 @@ func main() {
 	out := flag.String("o", "BENCH_grid.json", "output file")
 	kindsFlag := flag.String("kinds", "", "comma-separated workload filter (default: all seven)")
 	parallel := flag.Int("parallel", 0, "engine worker-pool width (0 = GOMAXPROCS)")
+	vmOut := flag.String("vm", "BENCH_vm.json", "VM microbenchmark output file (empty = skip)")
+	vmOnly := flag.Bool("vmonly", false, "run only the VM microbenchmarks")
 	flag.Parse()
+
+	if *vmOut != "" {
+		if err := runVMBenchmarks(*vmOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *vmOnly {
+		return
+	}
 
 	kinds, err := parseKinds(*kindsFlag)
 	if err != nil {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"accentmig/internal/vmbench"
+)
+
+// VMBench is one microbenchmark's result in BENCH_vm.json.
+type VMBench struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// VMReport is the whole BENCH_vm.json payload.
+type VMReport struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Benchmarks []VMBench `json:"benchmarks"`
+}
+
+// vmBenchmarks pairs each published name with its shared body. The
+// names are part of the BENCH_vm.json schema; keep them stable so
+// before/after comparisons across commits line up.
+var vmBenchmarks = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"resident_touch", vmbench.ResidentTouch},
+	{"build_amap_sparse_4gb", vmbench.BuildAMapSparse},
+	{"cow_break", vmbench.COWBreak},
+}
+
+// runVMBenchmarks measures the VM-layer microbenchmarks through
+// testing.Benchmark and writes the report to path.
+func runVMBenchmarks(path string) error {
+	rep := VMReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, bm := range vmBenchmarks {
+		r := testing.Benchmark(bm.fn)
+		rep.Benchmarks = append(rep.Benchmarks, VMBench{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("migbench: vm %-22s %12.1f ns/op %6d allocs/op\n",
+			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

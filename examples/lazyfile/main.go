@@ -108,8 +108,8 @@ func run() error {
 			return
 		}
 		body := rep.Body.(*imag.ReadReply)
-		for _, pg := range body.Pages {
-			fileSeg.Materialize(pg.Index, pg.Data)
+		for _, run := range body.Runs {
+			fileSeg.MaterializeRun(run.Index, run.Count, run.Data)
 		}
 		fullDone = p.Now() - start
 	})

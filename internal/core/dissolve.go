@@ -51,17 +51,21 @@ func DissolveIOUs(p *sim.Proc, m *machine.Machine, pr *machine.Process) (int, er
 			if !ok {
 				return fetched, fmt.Errorf("core: dissolve segment %d: bad reply %T", seg.ID, rep.Body)
 			}
-			for _, pg := range body.Pages {
-				// Skip pages already fetched by earlier faults.
-				if seg.Page(pg.Index) != nil {
-					continue
+			ps := seg.PageSize()
+			for _, run := range body.Runs {
+				for j := 0; j < run.Count; j++ {
+					idx := run.Index + uint64(j)
+					// Skip pages already fetched by earlier faults.
+					if seg.Page(idx) != nil {
+						continue
+					}
+					vp := seg.Materialize(idx, run.Page(j, ps))
+					vp.MarkWritten() // no local disk copy yet
+					m.Pager.Install(seg, idx)
+					fetched++
 				}
-				vp := seg.Materialize(pg.Index, pg.Data)
-				vp.MarkWritten() // no local disk copy yet
-				m.Pager.Install(seg, pg.Index)
-				fetched++
 			}
-			if len(body.Pages) < FlushChunkPages {
+			if body.PageCount() < FlushChunkPages {
 				break
 			}
 		}

@@ -163,12 +163,12 @@ func ExciseProcess(p *sim.Proc, m *machine.Machine, pr *machine.Process, strat S
 		// RealZeroMem runs travel only in the AMap.
 	}
 	var attachments []*ipc.MemAttachment
-	if len(res.Pages) > 0 {
-		res.Size = uint64(len(res.Pages)) * uint64(pr.AS.PageSize())
+	if res.PageCount() > 0 {
+		res.Size = uint64(res.PageCount()) * uint64(pr.AS.PageSize())
 		attachments = append(attachments, res)
 	}
-	if len(lazy.Pages) > 0 {
-		lazy.Size = uint64(len(lazy.Pages)) * uint64(pr.AS.PageSize())
+	if lazy.PageCount() > 0 {
+		lazy.Size = uint64(lazy.PageCount()) * uint64(pr.AS.PageSize())
 		attachments = append(attachments, lazy)
 	}
 	attachments = append(attachments, imagAtts...)
@@ -184,6 +184,9 @@ func ExciseProcess(p *sim.Proc, m *machine.Machine, pr *machine.Process, strat S
 	}
 	for seg := range segs {
 		m.Phys.RemoveSegment(seg)
+		// The collapsed attachments own copies of every page image, so
+		// the dead process's frames can go straight back to the pool.
+		seg.ReleaseFrames()
 	}
 	rights := make([]PortRight, 0, len(pr.Ports))
 	pendingBytes := 0
@@ -289,10 +292,27 @@ func collapseRealRun(as *vm.AddressSpace, e vm.AMapEntry, strat Strategy, lazy, 
 			runs = append(runs, CollapsedRun{VA: a, Pages: 1, Resident: markRes})
 		}
 		if dst != nil {
-			dst.Pages = append(dst.Pages, ipc.PageImage{Index: uint64(len(dst.Pages)), Data: pg.Data})
+			appendCollapsedPage(dst, pg.Data, int(ps))
 		}
 	}
 	return runs, resident, total
+}
+
+// appendCollapsedPage copies one page image onto the tail of a
+// collapsed attachment. Collapsed pages are densely numbered from zero,
+// so the whole attachment is a single run whose buffer the attachment
+// owns — the source segment's frames can be recycled the moment the
+// process is excised, and the staged context survives rollback.
+func appendCollapsedPage(dst *ipc.MemAttachment, data []byte, pageSize int) {
+	if len(dst.Runs) == 0 {
+		dst.Runs = append(dst.Runs, vm.PageRun{Index: 0})
+	}
+	run := &dst.Runs[0]
+	run.Data = append(run.Data, data...)
+	if short := run.Count*pageSize + pageSize - len(run.Data); short > 0 {
+		run.Data = append(run.Data, make([]byte, short)...)
+	}
+	run.Count++
 }
 
 // collapseImagRun re-expresses a pre-existing imaginary run as an IOU

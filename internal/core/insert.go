@@ -47,7 +47,7 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 		return nil, t, fmt.Errorf("core: insert on %s: process %q already exists", m.Name, cb.ProcName)
 	}
 
-	as, err := vm.NewAddressSpace(vm.Config{PageSize: m.PageSize()})
+	as, err := vm.NewAddressSpace(vm.Config{PageSize: m.PageSize(), Pool: m.Pool})
 	if err != nil {
 		return nil, t, err
 	}
@@ -89,17 +89,22 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 		switch a.Kind {
 		case ipc.AttachData:
 			seg := vm.NewSegment(fmt.Sprintf("%s.%s", cb.ProcName, label), a.Size, int(ps))
-			for _, img := range a.Pages {
-				pg := seg.Materialize(img.Index, img.Data)
-				// Arrived data exists nowhere on the local disk yet: an
-				// eviction must write it out.
-				pg.State.Dirty = true
-				m.Pager.Install(seg, img.Index)
-				arrived++
+			attachPool(m, seg)
+			for _, run := range a.Runs {
+				for j := 0; j < run.Count; j++ {
+					idx := run.Index + uint64(j)
+					pg := seg.Materialize(idx, run.Page(j, int(ps)))
+					// Arrived data exists nowhere on the local disk yet:
+					// an eviction must write it out.
+					pg.State.Dirty = true
+					m.Pager.Install(seg, idx)
+					arrived++
+				}
 			}
 			return seg, nil
 		case ipc.AttachIOU:
 			seg := vm.NewImaginarySegment(fmt.Sprintf("%s.%s", cb.ProcName, label), a.SegSize, int(ps), uint64(a.Backing))
+			attachPool(m, seg)
 			// Keep the backer's identity so read requests name the
 			// object it knows.
 			seg.ID = a.SegID
@@ -147,6 +152,7 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 			total += uint64(run.Pages) * ps
 		}
 		seg := vm.NewSegment(fmt.Sprintf("%s.precopied", cb.ProcName), total, int(ps))
+		attachPool(m, seg)
 		var off uint64
 		for _, run := range runTable {
 			for i := uint64(0); i < uint64(run.Pages); i++ {
@@ -183,6 +189,7 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 	}
 	for _, a := range imagAtts {
 		seg := vm.NewImaginarySegment(fmt.Sprintf("%s.owed@%#x", cb.ProcName, a.VA), a.SegSize, int(ps), uint64(a.Backing))
+		attachPool(m, seg)
 		seg.ID = a.SegID
 		if _, err := as.MapSegment(a.VA, a.Size, seg, a.SegOff, seg.Name); err != nil {
 			return nil, t, fmt.Errorf("core: insert %q: %w", cb.ProcName, err)
@@ -216,6 +223,14 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 	m.Pager.SetPrefetch(cb.Prefetch)
 	t.Overall = p.Now() - start
 	return pr, t, nil
+}
+
+// attachPool points a freshly inserted segment at the machine's frame
+// pool so its materializations recycle frames freed by past excisions.
+func attachPool(m *machine.Machine, seg *vm.Segment) {
+	if m.Pool != nil {
+		seg.SetPool(m.Pool)
+	}
 }
 
 // registerDeathNotice wires the §2.2 Imaginary Segment Death message:

@@ -246,9 +246,11 @@ func (mgr *Manager) handlePreCopy(p *sim.Proc, pb *PreCopyBody, m *ipc.Message) 
 		if a.Kind != ipc.AttachData {
 			continue
 		}
-		for _, img := range a.Pages {
-			stage[a.VA+vm.Addr(img.Index*ps)] = img.Data
-			pages++
+		for _, run := range a.Runs {
+			for j := 0; j < run.Count; j++ {
+				stage[a.VA+vm.Addr((run.Index+uint64(j))*ps)] = run.Page(j, int(ps))
+				pages++
+			}
 		}
 	}
 	// Staging cost: absorbing arrived pages.

@@ -107,7 +107,7 @@ func (mgr *Manager) stageRound(p *sim.Proc, procName string, destPort ipc.PortID
 			cur = &ipc.MemAttachment{Kind: ipc.AttachData, VA: sp.va, Copy: true}
 			atts = append(atts, cur)
 		}
-		cur.Pages = append(cur.Pages, ipc.PageImage{Index: cur.Size / ps, Data: sp.data})
+		cur.AppendPage(cur.Size/ps, sp.data)
 		cur.Size += ps
 	}
 	reply := mgr.M.IPC.AllocPort("precopy-reply")

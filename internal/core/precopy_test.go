@@ -122,17 +122,20 @@ func TestPreCopyDataIntegrityUnderWrites(t *testing.T) {
 			t.Error("process not at destination")
 			return
 		}
-		// Page 5's version at the destination must match the source's
-		// final write count, and its content must be the source's.
-		srcPage := reg.Seg.Page(5)
+		// Page 5's content at the destination must be the source's final
+		// content. Simulated writes bump versions without changing bytes,
+		// so that is still pattern(5); the source frame itself was
+		// recycled when the process was excised, so compare against the
+		// pattern, not the dead segment.
+		want5 := pattern(5)
 		got, err := tb.dst.Pager.Read(p, npr.AS, 5*512, 512)
 		if err != nil {
 			t.Errorf("read: %v", err)
 			return
 		}
 		for j := range got {
-			if got[j] != srcPage.Data[j] {
-				t.Errorf("page 5 byte %d: %d != %d (final write lost)", j, got[j], srcPage.Data[j])
+			if got[j] != want5[j] {
+				t.Errorf("page 5 byte %d: %d != %d (final write lost)", j, got[j], want5[j])
 				return
 			}
 		}

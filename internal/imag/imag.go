@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"accentmig/internal/vm"
 )
 
 // IPC operation codes for the copy-on-reference protocol.
@@ -43,26 +45,23 @@ type ReadRequest struct {
 // ReadRequestBytes is the encoded size of a ReadRequest body.
 const ReadRequestBytes = 64
 
-// PageData is one delivered page.
-type PageData struct {
-	Index uint64
-	Data  []byte
-}
-
-// ReadReply is the body of an imaginary fault reply. Pages[0] is the
-// demanded page; any further entries are prefetched neighbours.
+// ReadReply is the body of an imaginary fault reply. Pages travel
+// run-batched (one header plus N consecutive pages per run); the first
+// page of the first run is the demanded page, and everything after it
+// is prefetched neighbours.
 type ReadReply struct {
 	SegID uint64
-	Pages []PageData
+	Runs  []vm.PageRun
 }
 
-// Bytes reports the encoded size of the reply body.
+// PageCount reports the number of pages the reply delivers.
+func (r *ReadReply) PageCount() int { return vm.RunPageCount(r.Runs) }
+
+// Bytes reports the encoded size of the reply body. Accounting stays
+// per-page — one 8-byte header per delivered page — matching the
+// calibrated model regardless of run batching.
 func (r *ReadReply) Bytes() int {
-	n := 32
-	for _, pg := range r.Pages {
-		n += 8 + len(pg.Data)
-	}
-	return n
+	return 32 + 8*r.PageCount() + vm.RunDataBytes(r.Runs)
 }
 
 // ReadError is the body of a negative imaginary fault reply: the
@@ -116,15 +115,52 @@ type Store struct {
 	segs map[uint64]*StoreSegment
 }
 
-// StoreSegment is the owed pages of one imaginary segment.
+// storeRun is one contiguous extent of owed pages: count pages starting
+// at start, bytes concatenated in data (aliasing the attachment buffer
+// the run arrived in — absorption is copy-free), with a delivered
+// bitmap per page.
+type storeRun struct {
+	start     uint64
+	count     int
+	data      []byte
+	delivered []uint64 // bitmap, one bit per page of the run
+}
+
+// page returns the i-th page's bytes.
+func (r *storeRun) page(i, pageSize int) []byte {
+	lo := i * pageSize
+	hi := lo + pageSize
+	if hi > len(r.data) {
+		hi = len(r.data)
+	}
+	return r.data[lo:hi]
+}
+
+func (r *storeRun) isDelivered(i int) bool {
+	return r.delivered[i>>6]&(1<<(i&63)) != 0
+}
+
+// markDelivered sets page i's bit, reporting whether it flipped.
+func (r *storeRun) markDelivered(i int) bool {
+	w, b := i>>6, uint64(1)<<(i&63)
+	if r.delivered[w]&b != 0 {
+		return false
+	}
+	r.delivered[w] |= b
+	return true
+}
+
+// StoreSegment is the owed pages of one imaginary segment, held as
+// sorted non-overlapping runs.
 type StoreSegment struct {
 	ID       uint64
 	Size     uint64
 	PageSize int
 
-	pages     map[uint64][]byte
-	delivered map[uint64]bool
-	dead      bool
+	runs           []storeRun // sorted by start
+	pageCount      int
+	deliveredCount int
+	dead           bool
 }
 
 // NewStore returns an empty store.
@@ -135,11 +171,9 @@ func NewStore() *Store {
 // AddSegment registers a segment the store will back.
 func (s *Store) AddSegment(id, size uint64, pageSize int) *StoreSegment {
 	seg := &StoreSegment{
-		ID:        id,
-		Size:      size,
-		PageSize:  pageSize,
-		pages:     make(map[uint64][]byte),
-		delivered: make(map[uint64]bool),
+		ID:       id,
+		Size:     size,
+		PageSize: pageSize,
 	}
 	s.segs[id] = seg
 	return seg
@@ -176,51 +210,128 @@ func (s *Store) TotalRemaining() int {
 	return n
 }
 
-// Put stores the image for page idx. The data slice is retained.
+// findRun locates the run containing page idx, or (-1, 0).
+func (g *StoreSegment) findRun(idx uint64) (int, int) {
+	ri := sort.Search(len(g.runs), func(i int) bool {
+		r := &g.runs[i]
+		return r.start+uint64(r.count) > idx
+	})
+	if ri < len(g.runs) && idx >= g.runs[ri].start {
+		return ri, int(idx - g.runs[ri].start)
+	}
+	return -1, 0
+}
+
+// PutRun stores count consecutive pages starting at idx whose bytes are
+// concatenated in data. The data slice is retained (absorption is
+// copy-free); it must not overlap pages the store already holds.
+func (g *StoreSegment) PutRun(idx uint64, count int, data []byte) {
+	if count <= 0 {
+		return
+	}
+	r := storeRun{
+		start:     idx,
+		count:     count,
+		data:      data,
+		delivered: make([]uint64, (count+63)/64),
+	}
+	at := sort.Search(len(g.runs), func(i int) bool { return g.runs[i].start >= idx })
+	g.runs = append(g.runs, storeRun{})
+	copy(g.runs[at+1:], g.runs[at:])
+	g.runs[at] = r
+	g.pageCount += count
+}
+
+// Put stores the image for page idx. The data slice is retained. A page
+// the store already holds is replaced in place.
 func (g *StoreSegment) Put(idx uint64, data []byte) {
-	g.pages[idx] = data
+	if ri, off := g.findRun(idx); ri >= 0 {
+		r := &g.runs[ri]
+		if r.count == 1 {
+			r.data = data
+			return
+		}
+		// Replacing inside a multi-page run: overwrite the page's slot.
+		slot := r.page(off, g.PageSize)
+		n := copy(slot, data)
+		for i := n; i < len(slot); i++ {
+			slot[i] = 0
+		}
+		return
+	}
+	g.PutRun(idx, 1, data)
 }
 
 // Get returns the image for page idx if the store holds it.
 func (g *StoreSegment) Get(idx uint64) ([]byte, bool) {
-	d, ok := g.pages[idx]
-	return d, ok
+	ri, off := g.findRun(idx)
+	if ri < 0 {
+		return nil, false
+	}
+	return g.runs[ri].page(off, g.PageSize), true
 }
 
 // Pages reports how many page images the segment holds.
-func (g *StoreSegment) Pages() int { return len(g.pages) }
+func (g *StoreSegment) Pages() int { return g.pageCount }
 
 // Remaining reports pages held but not yet delivered — the residual
 // dependency the source carries for a lazily migrated process.
 func (g *StoreSegment) Remaining() int {
-	n := 0
-	for idx := range g.pages {
-		if !g.delivered[idx] {
-			n++
+	return g.pageCount - g.deliveredCount
+}
+
+// deliver marks run page (ri, off) delivered, keeping the segment count.
+func (g *StoreSegment) deliver(ri, off int) {
+	if g.runs[ri].markDelivered(off) {
+		g.deliveredCount++
+	}
+}
+
+// appendPage adds page (ri, off) to the reply, extending the final
+// reply run when the page is contiguous with it in both index space and
+// the underlying store run — copy-free run slicing.
+func (g *StoreSegment) appendPage(rep *ReadReply, lastRi *int, ri, off int) {
+	r := &g.runs[ri]
+	idx := r.start + uint64(off)
+	if n := len(rep.Runs); n > 0 && *lastRi == ri {
+		last := &rep.Runs[n-1]
+		if last.Index+uint64(last.Count) == idx {
+			last.Count++
+			lo := int(last.Index-r.start) * g.PageSize
+			hi := (off + 1) * g.PageSize
+			if hi > len(r.data) {
+				hi = len(r.data)
+			}
+			last.Data = r.data[lo:hi]
+			return
 		}
 	}
-	return n
+	rep.Runs = append(rep.Runs, vm.PageRun{Index: idx, Count: 1, Data: r.page(off, g.PageSize)})
+	*lastRi = ri
 }
 
 // Serve answers a ReadRequest: the demanded page plus up to prefetch
 // nearby undelivered pages scanning forward from it. It returns nil if
 // the demanded page is not held (a protocol error by the requester —
-// the backer only owes pages it cached).
+// the backer only owes pages it cached). Reply data aliases the store's
+// run buffers — no page is copied to serve it.
 func (g *StoreSegment) Serve(req *ReadRequest) *ReadReply {
-	data, ok := g.pages[req.PageIdx]
-	if !ok {
+	ri, off := g.findRun(req.PageIdx)
+	if ri < 0 {
 		return nil
 	}
-	rep := &ReadReply{SegID: g.ID, Pages: []PageData{{Index: req.PageIdx, Data: data}}}
-	g.delivered[req.PageIdx] = true
+	rep := &ReadReply{SegID: g.ID}
+	lastRi := -1
+	g.appendPage(rep, &lastRi, ri, off)
+	g.deliver(ri, off)
 	for i := uint64(1); i <= uint64(req.Prefetch); i++ {
 		idx := req.PageIdx + i
-		d, ok := g.pages[idx]
-		if !ok || g.delivered[idx] {
+		pri, poff := g.findRun(idx)
+		if pri < 0 || g.runs[pri].isDelivered(poff) {
 			continue
 		}
-		rep.Pages = append(rep.Pages, PageData{Index: idx, Data: d})
-		g.delivered[idx] = true
+		g.appendPage(rep, &lastRi, pri, poff)
+		g.deliver(pri, poff)
 	}
 	return rep
 }
@@ -232,27 +343,30 @@ func (g *StoreSegment) FlushAll() *ReadReply { return g.Flush(0) }
 // Flush returns up to max undelivered pages in index order and marks
 // them delivered (max <= 0 means all). Callers dissolve a large
 // residual dependency with a sequence of bounded flushes so the backer
-// stays responsive to concurrent demand reads.
+// stays responsive to concurrent demand reads. Runs are already sorted,
+// so the sweep emits coalesced reply runs with no sort and no copy.
 func (g *StoreSegment) Flush(max int) *ReadReply {
-	var idxs []uint64
-	for idx := range g.pages {
-		if !g.delivered[idx] {
-			idxs = append(idxs, idx)
-		}
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	if max > 0 && len(idxs) > max {
-		idxs = idxs[:max]
-	}
 	rep := &ReadReply{SegID: g.ID}
-	for _, idx := range idxs {
-		rep.Pages = append(rep.Pages, PageData{Index: idx, Data: g.pages[idx]})
-		g.delivered[idx] = true
+	lastRi := -1
+	taken := 0
+	for ri := range g.runs {
+		r := &g.runs[ri]
+		for off := 0; off < r.count; off++ {
+			if r.isDelivered(off) {
+				continue
+			}
+			g.appendPage(rep, &lastRi, ri, off)
+			g.deliver(ri, off)
+			taken++
+			if max > 0 && taken >= max {
+				return rep
+			}
+		}
 	}
 	return rep
 }
 
 // String summarizes the segment.
 func (g *StoreSegment) String() string {
-	return fmt.Sprintf("storeSeg(%d: %d pages, %d owed)", g.ID, len(g.pages), g.Remaining())
+	return fmt.Sprintf("storeSeg(%d: %d pages, %d owed)", g.ID, g.pageCount, g.Remaining())
 }

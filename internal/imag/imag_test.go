@@ -3,6 +3,8 @@ package imag
 import (
 	"testing"
 	"testing/quick"
+
+	"accentmig/internal/vm"
 )
 
 func seed(t *testing.T) (*Store, *StoreSegment) {
@@ -15,14 +17,34 @@ func seed(t *testing.T) (*Store, *StoreSegment) {
 	return st, seg
 }
 
+// flatPage is one delivered page, unbatched from the reply's runs.
+type flatPage struct {
+	Index uint64
+	Data  []byte
+}
+
+func flatten(rep *ReadReply, pageSize int) []flatPage {
+	if rep == nil {
+		return nil
+	}
+	var out []flatPage
+	for _, run := range rep.Runs {
+		for j := 0; j < run.Count; j++ {
+			out = append(out, flatPage{run.Index + uint64(j), run.Page(j, pageSize)})
+		}
+	}
+	return out
+}
+
 func TestServeDemandPage(t *testing.T) {
 	_, seg := seed(t)
 	rep := seg.Serve(&ReadRequest{SegID: 1, PageIdx: 3})
-	if rep == nil || len(rep.Pages) != 1 {
+	pages := flatten(rep, 512)
+	if rep == nil || len(pages) != 1 {
 		t.Fatalf("rep = %+v", rep)
 	}
-	if rep.Pages[0].Index != 3 || rep.Pages[0].Data[0] != 3 {
-		t.Errorf("page = %+v", rep.Pages[0])
+	if pages[0].Index != 3 || pages[0].Data[0] != 3 {
+		t.Errorf("page = %+v", pages[0])
 	}
 	if seg.Remaining() != 9 {
 		t.Errorf("Remaining = %d, want 9", seg.Remaining())
@@ -32,10 +54,11 @@ func TestServeDemandPage(t *testing.T) {
 func TestServeWithPrefetch(t *testing.T) {
 	_, seg := seed(t)
 	rep := seg.Serve(&ReadRequest{SegID: 1, PageIdx: 2, Prefetch: 3})
-	if len(rep.Pages) != 4 {
-		t.Fatalf("pages = %d, want 4", len(rep.Pages))
+	pages := flatten(rep, 512)
+	if len(pages) != 4 {
+		t.Fatalf("pages = %d, want 4", len(pages))
 	}
-	for i, pg := range rep.Pages {
+	for i, pg := range pages {
 		if pg.Index != uint64(2+i) {
 			t.Errorf("page %d has index %d", i, pg.Index)
 		}
@@ -46,20 +69,21 @@ func TestServePrefetchSkipsDelivered(t *testing.T) {
 	_, seg := seed(t)
 	seg.Serve(&ReadRequest{PageIdx: 3}) // deliver 3
 	rep := seg.Serve(&ReadRequest{PageIdx: 2, Prefetch: 3})
+	pages := flatten(rep, 512)
 	// Wants 3,4,5 but 3 already went: expect demand 2 + prefetch 4,5.
-	if len(rep.Pages) != 3 {
-		t.Fatalf("pages = %+v", rep.Pages)
+	if len(pages) != 3 {
+		t.Fatalf("pages = %+v", pages)
 	}
-	if rep.Pages[1].Index != 4 || rep.Pages[2].Index != 5 {
-		t.Errorf("prefetch indices = %d,%d", rep.Pages[1].Index, rep.Pages[2].Index)
+	if pages[1].Index != 4 || pages[2].Index != 5 {
+		t.Errorf("prefetch indices = %d,%d", pages[1].Index, pages[2].Index)
 	}
 }
 
 func TestServePrefetchStopsAtEnd(t *testing.T) {
 	_, seg := seed(t)
 	rep := seg.Serve(&ReadRequest{PageIdx: 8, Prefetch: 15})
-	if len(rep.Pages) != 2 {
-		t.Errorf("pages = %d, want 2 (8 and 9)", len(rep.Pages))
+	if n := rep.PageCount(); n != 2 {
+		t.Errorf("pages = %d, want 2 (8 and 9)", n)
 	}
 }
 
@@ -76,19 +100,49 @@ func TestFlushAllOrdersAndDrains(t *testing.T) {
 	_, seg := seed(t)
 	seg.Serve(&ReadRequest{PageIdx: 4})
 	rep := seg.FlushAll()
-	if len(rep.Pages) != 9 {
-		t.Fatalf("flushed %d, want 9", len(rep.Pages))
+	pages := flatten(rep, 512)
+	if len(pages) != 9 {
+		t.Fatalf("flushed %d, want 9", len(pages))
 	}
-	for i := 1; i < len(rep.Pages); i++ {
-		if rep.Pages[i].Index <= rep.Pages[i-1].Index {
+	for i := 1; i < len(pages); i++ {
+		if pages[i].Index <= pages[i-1].Index {
 			t.Fatal("flush not in index order")
 		}
 	}
 	if seg.Remaining() != 0 {
 		t.Errorf("Remaining = %d after flush", seg.Remaining())
 	}
-	if again := seg.FlushAll(); len(again.Pages) != 0 {
-		t.Errorf("second flush returned %d pages", len(again.Pages))
+	if again := seg.FlushAll(); again.PageCount() != 0 {
+		t.Errorf("second flush returned %d pages", again.PageCount())
+	}
+}
+
+// TestRunBatchedServe checks that contiguous pages of one store run
+// come back coalesced into a single reply run that aliases the store's
+// buffer rather than copying it.
+func TestRunBatchedServe(t *testing.T) {
+	st := NewStore()
+	seg := st.AddSegment(1, 16*512, 512)
+	data := make([]byte, 8*512)
+	for i := range data {
+		data[i] = byte(i / 512)
+	}
+	seg.PutRun(4, 8, data)
+	rep := seg.Serve(&ReadRequest{PageIdx: 5, Prefetch: 4})
+	if len(rep.Runs) != 1 {
+		t.Fatalf("reply has %d runs, want 1 coalesced: %+v", len(rep.Runs), rep.Runs)
+	}
+	run := rep.Runs[0]
+	if run.Index != 5 || run.Count != 5 {
+		t.Fatalf("run = {%d,%d}, want {5,5}", run.Index, run.Count)
+	}
+	if &run.Data[0] != &data[512] {
+		t.Error("reply run copied the store buffer instead of aliasing it")
+	}
+	for j := 0; j < run.Count; j++ {
+		if pg := run.Page(j, 512); pg[0] != byte(1+j) {
+			t.Errorf("page %d content = %d, want %d", j, pg[0], 1+j)
+		}
 	}
 }
 
@@ -107,9 +161,18 @@ func TestDrop(t *testing.T) {
 }
 
 func TestReplyBytes(t *testing.T) {
-	rep := &ReadReply{Pages: []PageData{{Data: make([]byte, 512)}, {Data: make([]byte, 512)}}}
+	rep := &ReadReply{Runs: []vm.PageRun{{Index: 0, Count: 2, Data: make([]byte, 1024)}}}
 	if got := rep.Bytes(); got != 32+2*(8+512) {
 		t.Errorf("Bytes = %d", got)
+	}
+	// Splitting the same pages across runs must not change the price:
+	// accounting stays per-page regardless of batching.
+	split := &ReadReply{Runs: []vm.PageRun{
+		{Index: 0, Count: 1, Data: make([]byte, 512)},
+		{Index: 7, Count: 1, Data: make([]byte, 512)},
+	}}
+	if split.Bytes() != rep.Bytes() {
+		t.Errorf("split Bytes = %d, batched Bytes = %d", split.Bytes(), rep.Bytes())
 	}
 }
 
@@ -131,7 +194,7 @@ func TestQuickNoDoubleDelivery(t *testing.T) {
 			if rep == nil {
 				continue
 			}
-			for i, pg := range rep.Pages {
+			for i, pg := range flatten(rep, 512) {
 				if i > 0 { // demand page may legitimately repeat
 					seen[pg.Index]++
 					if seen[pg.Index] > 1 {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"accentmig/internal/sim"
+	"accentmig/internal/vm"
 )
 
 func TestLocalPortPreferredOverRouter(t *testing.T) {
@@ -101,10 +102,9 @@ func TestCopyThresholdBoundary(t *testing.T) {
 
 func TestWireBytesMultiplePages(t *testing.T) {
 	att := &MemAttachment{Kind: AttachData, Size: 3 * 512}
-	for i := uint64(0); i < 3; i++ {
-		att.Pages = append(att.Pages, PageImage{Index: i, Data: make([]byte, 512)})
-	}
+	att.Runs = append(att.Runs, vm.PageRun{Index: 0, Count: 3, Data: make([]byte, 3*512)})
 	m := &Message{Mem: []*MemAttachment{att}}
+	// One run of three pages still prices three per-page headers.
 	want := msgHeaderBytes + dataDescBytes + 3*pageImageHeader + 3*512
 	if got := m.WireBytes(); got != want {
 		t.Errorf("WireBytes = %d, want %d", got, want)

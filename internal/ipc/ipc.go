@@ -74,13 +74,6 @@ const (
 	AttachIOU
 )
 
-// PageImage is one page of attachment data. Index is the page offset
-// from the attachment's base address.
-type PageImage struct {
-	Index uint64
-	Data  []byte
-}
-
 // MemAttachment is one contiguous range of process memory conveyed by a
 // message, either physically (Data) or by promise (IOU).
 type MemAttachment struct {
@@ -95,9 +88,11 @@ type MemAttachment struct {
 	Collapsed bool
 	Resident  bool
 
-	// AttachData fields.
-	Pages []PageImage
-	Copy  bool // per-attachment NoIOU: intermediaries must not replace this data with an IOU
+	// AttachData fields. Page data travels run-batched: each PageRun is
+	// one header plus the bytes of Count consecutive pages (indices are
+	// page offsets from the attachment's base address).
+	Runs []vm.PageRun
+	Copy bool // per-attachment NoIOU: intermediaries must not replace this data with an IOU
 
 	// AttachIOU fields.
 	SegID   uint64 // backing segment identity at the backer
@@ -108,11 +103,19 @@ type MemAttachment struct {
 
 // DataBytes reports the physical payload carried by the attachment.
 func (a *MemAttachment) DataBytes() int {
-	n := 0
-	for _, pg := range a.Pages {
-		n += len(pg.Data)
-	}
-	return n
+	return vm.RunDataBytes(a.Runs)
+}
+
+// PageCount reports the number of pages the attachment carries.
+func (a *MemAttachment) PageCount() int {
+	return vm.RunPageCount(a.Runs)
+}
+
+// AppendPage appends a single page image as its own one-page run —
+// the incremental construction path for builders whose pages are not
+// already contiguous in memory (pre-copy snapshots, tests).
+func (a *MemAttachment) AppendPage(index uint64, data []byte) {
+	a.Runs = append(a.Runs, vm.PageRun{Index: index, Count: 1, Data: data})
 }
 
 // descriptor sizes for wire accounting.
@@ -150,7 +153,10 @@ func (m *Message) WireBytes() int {
 	for _, a := range m.Mem {
 		switch a.Kind {
 		case AttachData:
-			n += dataDescBytes + len(a.Pages)*pageImageHeader + a.DataBytes()
+			// Accounting stays per-page even though transfer is
+			// run-batched: the wire estimate charges one page header per
+			// page, as the calibrated model always has.
+			n += dataDescBytes + a.PageCount()*pageImageHeader + a.DataBytes()
 		case AttachIOU:
 			n += iouDescBytes
 		}

@@ -53,9 +53,7 @@ func TestSmallMessageCopiedLargeMapped(t *testing.T) {
 	s := newSys(k)
 	port := s.AllocPort("svc")
 	big := &MemAttachment{Kind: AttachData, Size: 64 * 512}
-	for i := uint64(0); i < 64; i++ {
-		big.Pages = append(big.Pages, PageImage{Index: i, Data: make([]byte, 512)})
-	}
+	big.Runs = append(big.Runs, vm.PageRun{Index: 0, Count: 64, Data: make([]byte, 64*512)})
 	k.Go("client", func(p *sim.Proc) {
 		s.Send(p, &Message{To: port.ID, BodyBytes: 100})
 		s.Send(p, &Message{To: port.ID, Mem: []*MemAttachment{big}})
@@ -75,7 +73,7 @@ func TestMappedTransferCheaperThanCopy(t *testing.T) {
 	const bytes = 100 * 1024
 	att := &MemAttachment{Kind: AttachData, Size: bytes}
 	for i := uint64(0); i < bytes/512; i++ {
-		att.Pages = append(att.Pages, PageImage{Index: i, Data: make([]byte, 512)})
+		att.AppendPage(i, make([]byte, 512))
 	}
 	mapped, copied := s.transferCPU(&Message{Mem: []*MemAttachment{att}})
 	if copied {
@@ -131,9 +129,9 @@ func TestWireBytes(t *testing.T) {
 		t.Errorf("base = %d", base)
 	}
 	m.Mem = append(m.Mem, &MemAttachment{
-		Kind:  AttachData,
-		Size:  512,
-		Pages: []PageImage{{Index: 0, Data: make([]byte, 512)}},
+		Kind: AttachData,
+		Size: 512,
+		Runs: []vm.PageRun{{Index: 0, Count: 1, Data: make([]byte, 512)}},
 	})
 	withData := m.WireBytes()
 	if withData != base+dataDescBytes+pageImageHeader+512 {

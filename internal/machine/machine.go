@@ -133,6 +133,9 @@ type Machine struct {
 	IPC   *ipc.System
 	Pager *pager.Pager
 	Net   *netmsg.Server
+	// Pool recycles page frames across the machine's processes: frames
+	// freed by excision or segment death back later materializations.
+	Pool *vm.FramePool
 
 	cfg   Config
 	rec   *metrics.Recorder
@@ -157,6 +160,7 @@ func New(k *sim.Kernel, name string, cfg Config) *Machine {
 		IPC:   sys,
 		Pager: pg,
 		Net:   srv,
+		Pool:  vm.NewFramePool(cfg.PageSize),
 		cfg:   cfg,
 		procs: make(map[string]*Process),
 	}
@@ -209,7 +213,7 @@ func (m *Machine) NewProcess(name string, nports int) (*Process, error) {
 	if _, exists := m.procs[name]; exists {
 		return nil, fmt.Errorf("machine %s: process %q already exists", m.Name, name)
 	}
-	as, err := vm.NewAddressSpace(vm.Config{PageSize: m.cfg.PageSize})
+	as, err := vm.NewAddressSpace(vm.Config{PageSize: m.cfg.PageSize, Pool: m.Pool})
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"accentmig/internal/metrics"
 	"accentmig/internal/netlink"
 	"accentmig/internal/sim"
+	"accentmig/internal/vm"
 )
 
 // star builds three nodes: hub connected to both leaves.
@@ -161,10 +162,8 @@ func TestAbsorbPreservesVAAndSize(t *testing.T) {
 	a, b, _ := pair(k, netlink.Config{})
 	dst := b.sys.AllocPort("svc")
 	a.srv.AddRoute(dst.ID, "B")
-	att := &ipc.MemAttachment{Kind: ipc.AttachData, VA: 0xABCD000, Size: 4 * 512, Collapsed: true}
-	for i := uint64(0); i < 4; i++ {
-		att.Pages = append(att.Pages, ipc.PageImage{Index: i, Data: make([]byte, 512)})
-	}
+	att := &ipc.MemAttachment{Kind: ipc.AttachData, VA: 0xABCD000, Size: 4 * 512, Collapsed: true,
+		Runs: []vm.PageRun{{Index: 0, Count: 4, Data: make([]byte, 4*512)}}}
 	var got *ipc.Message
 	k.Go("server", func(p *sim.Proc) { got = b.sys.Receive(p, dst) })
 	k.Go("client", func(p *sim.Proc) {
@@ -188,11 +187,9 @@ func TestCacheMinPagesPassesSmallAttachments(t *testing.T) {
 	dst := b.sys.AllocPort("svc")
 	a.srv.AddRoute(dst.ID, "B")
 	small := &ipc.MemAttachment{Kind: ipc.AttachData, Size: 512,
-		Pages: []ipc.PageImage{{Index: 0, Data: make([]byte, 512)}}}
-	big := &ipc.MemAttachment{Kind: ipc.AttachData, Size: 8 * 512}
-	for i := uint64(0); i < 8; i++ {
-		big.Pages = append(big.Pages, ipc.PageImage{Index: i, Data: make([]byte, 512)})
-	}
+		Runs: []vm.PageRun{{Index: 0, Count: 1, Data: make([]byte, 512)}}}
+	big := &ipc.MemAttachment{Kind: ipc.AttachData, Size: 8 * 512,
+		Runs: []vm.PageRun{{Index: 0, Count: 8, Data: make([]byte, 8*512)}}}
 	var got *ipc.Message
 	k.Go("rx", func(p *sim.Proc) { got = b.sys.Receive(p, dst) })
 	k.Go("tx", func(p *sim.Proc) {

@@ -239,7 +239,7 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 	// pass IOUs in their place (§2.4, §3.1).
 	if !s.cfg.DisableIOUCache && !m.NoIOUs {
 		for i, a := range m.Mem {
-			if a.Kind != ipc.AttachData || a.Copy || len(a.Pages) < s.cfg.CacheMinPages {
+			if a.Kind != ipc.AttachData || a.Copy || a.PageCount() < s.cfg.CacheMinPages {
 				continue
 			}
 			m.Mem[i] = s.absorb(p, a)
@@ -252,7 +252,7 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 		dataPages, dataBytes := 0, 0
 		for _, a := range m.Mem {
 			if a.Kind == ipc.AttachData {
-				dataPages += len(a.Pages)
+				dataPages += a.PageCount()
 				dataBytes += a.DataBytes()
 			}
 		}
@@ -467,11 +467,14 @@ func (s *Server) nack(p *sim.Proc, m *ipc.Message) {
 func (s *Server) absorb(p *sim.Proc, a *ipc.MemAttachment) *ipc.MemAttachment {
 	segID := imag.NextSegID()
 	seg := s.store.AddSegment(segID, a.Size, s.cfg.FragBytes)
-	for _, pg := range a.Pages {
-		seg.Put(pg.Index, pg.Data)
+	// Run buffers are adopted whole — the cache aliases the attachment's
+	// contiguous run data instead of copying page by page.
+	for _, run := range a.Runs {
+		seg.PutRun(run.Index, run.Count, run.Data)
 	}
-	s.cpu.UseHigh(p, time.Duration(len(a.Pages))*s.cfg.CachePerPageCPU)
-	s.stats.CachedPages += uint64(len(a.Pages))
+	pages := a.PageCount()
+	s.cpu.UseHigh(p, time.Duration(pages)*s.cfg.CachePerPageCPU)
+	s.stats.CachedPages += uint64(pages)
 	return &ipc.MemAttachment{
 		Kind:      ipc.AttachIOU,
 		VA:        a.VA,
@@ -552,7 +555,7 @@ func (s *Server) backer(p *sim.Proc) {
 			s.cpu.UseHigh(p, s.cfg.ServeCPU)
 			s.stats.Served++
 			if s.rec != nil {
-				s.rec.Inc("pages.shipped.fault", uint64(len(rep.Pages)))
+				s.rec.Inc("pages.shipped.fault", uint64(rep.PageCount()))
 			}
 			if s.k.Tracing() {
 				s.k.Emit(obs.Event{

@@ -109,10 +109,8 @@ func TestIOUCachingRewritesAttachment(t *testing.T) {
 	a, b, link := pair(k, netlink.Config{})
 	dst := b.sys.AllocPort("mgr")
 	a.srv.AddRoute(dst.ID, "B")
-	att := &ipc.MemAttachment{Kind: ipc.AttachData, VA: 0, Size: 20 * 512}
-	for i := uint64(0); i < 20; i++ {
-		att.Pages = append(att.Pages, ipc.PageImage{Index: i, Data: make([]byte, 512)})
-	}
+	att := &ipc.MemAttachment{Kind: ipc.AttachData, VA: 0, Size: 20 * 512,
+		Runs: []vm.PageRun{{Index: 0, Count: 20, Data: make([]byte, 20*512)}}}
 	var got *ipc.Message
 	k.Go("server", func(p *sim.Proc) { got = b.sys.Receive(p, dst) })
 	k.Go("client", func(p *sim.Proc) {
@@ -143,10 +141,8 @@ func TestNoIOUsForcesPhysicalCopy(t *testing.T) {
 	a, b, link := pair(k, netlink.Config{})
 	dst := b.sys.AllocPort("mgr")
 	a.srv.AddRoute(dst.ID, "B")
-	att := &ipc.MemAttachment{Kind: ipc.AttachData, VA: 0, Size: 20 * 512}
-	for i := uint64(0); i < 20; i++ {
-		att.Pages = append(att.Pages, ipc.PageImage{Index: i, Data: make([]byte, 512)})
-	}
+	att := &ipc.MemAttachment{Kind: ipc.AttachData, VA: 0, Size: 20 * 512,
+		Runs: []vm.PageRun{{Index: 0, Count: 20, Data: make([]byte, 20*512)}}}
 	var got *ipc.Message
 	k.Go("server", func(p *sim.Proc) { got = b.sys.Receive(p, dst) })
 	k.Go("client", func(p *sim.Proc) {
@@ -170,11 +166,8 @@ func TestPerAttachmentCopyRespected(t *testing.T) {
 	dst := b.sys.AllocPort("mgr")
 	a.srv.AddRoute(dst.ID, "B")
 	mk := func(copy bool) *ipc.MemAttachment {
-		att := &ipc.MemAttachment{Kind: ipc.AttachData, Size: 4 * 512, Copy: copy}
-		for i := uint64(0); i < 4; i++ {
-			att.Pages = append(att.Pages, ipc.PageImage{Index: i, Data: make([]byte, 512)})
-		}
-		return att
+		return &ipc.MemAttachment{Kind: ipc.AttachData, Size: 4 * 512, Copy: copy,
+			Runs: []vm.PageRun{{Index: 0, Count: 4, Data: make([]byte, 4*512)}}}
 	}
 	var got *ipc.Message
 	k.Go("server", func(p *sim.Proc) { got = b.sys.Receive(p, dst) })
@@ -199,13 +192,10 @@ func TestRemoteImaginaryFaultEndToEnd(t *testing.T) {
 	a.srv.AddRoute(dst.ID, "B")
 
 	content := []byte("the owed page")
-	page := make([]byte, 512)
-	copy(page, content)
-	att := &ipc.MemAttachment{Kind: ipc.AttachData, VA: 0x4000, Size: 4 * 512}
-	att.Pages = []ipc.PageImage{{Index: 0, Data: page}}
-	for i := uint64(1); i < 4; i++ {
-		att.Pages = append(att.Pages, ipc.PageImage{Index: i, Data: make([]byte, 512)})
-	}
+	buf := make([]byte, 4*512)
+	copy(buf, content)
+	att := &ipc.MemAttachment{Kind: ipc.AttachData, VA: 0x4000, Size: 4 * 512,
+		Runs: []vm.PageRun{{Index: 0, Count: 4, Data: buf}}}
 
 	var faultTime time.Duration
 	var got []byte
@@ -255,7 +245,7 @@ func TestSegmentDeathDropsCache(t *testing.T) {
 	dst := b.sys.AllocPort("mgr")
 	a.srv.AddRoute(dst.ID, "B")
 	att := &ipc.MemAttachment{Kind: ipc.AttachData, Size: 512,
-		Pages: []ipc.PageImage{{Index: 0, Data: make([]byte, 512)}}}
+		Runs: []vm.PageRun{{Index: 0, Count: 1, Data: make([]byte, 512)}}}
 	var iou *ipc.MemAttachment
 	k.Go("dest", func(p *sim.Proc) {
 		m := b.sys.Receive(p, dst)
@@ -284,10 +274,8 @@ func TestBulkTransferRateNearPaper(t *testing.T) {
 	dst := b.sys.AllocPort("mgr")
 	a.srv.AddRoute(dst.ID, "B")
 	const pages = 200
-	att := &ipc.MemAttachment{Kind: ipc.AttachData, Size: pages * 512}
-	for i := uint64(0); i < pages; i++ {
-		att.Pages = append(att.Pages, ipc.PageImage{Index: i, Data: make([]byte, 512)})
-	}
+	att := &ipc.MemAttachment{Kind: ipc.AttachData, Size: pages * 512,
+		Runs: []vm.PageRun{{Index: 0, Count: pages, Data: make([]byte, pages*512)}}}
 	var arrived time.Duration
 	k.Go("dest", func(p *sim.Proc) {
 		b.sys.Receive(p, dst)
@@ -310,7 +298,7 @@ func TestFlushDissolvesResidualDependency(t *testing.T) {
 	a.srv.AddRoute(dst.ID, "B")
 	att := &ipc.MemAttachment{Kind: ipc.AttachData, Size: 8 * 512}
 	for i := uint64(0); i < 8; i++ {
-		att.Pages = append(att.Pages, ipc.PageImage{Index: i, Data: []byte{byte(i)}})
+		att.AppendPage(i, []byte{byte(i)})
 	}
 	k.Go("dest", func(p *sim.Proc) {
 		m := b.sys.Receive(p, dst)
@@ -326,8 +314,8 @@ func TestFlushDissolvesResidualDependency(t *testing.T) {
 			return
 		}
 		body := rep.Body.(*imag.ReadReply)
-		if len(body.Pages) != 8 {
-			t.Errorf("flushed %d pages, want 8", len(body.Pages))
+		if body.PageCount() != 8 {
+			t.Errorf("flushed %d pages, want 8", body.PageCount())
 		}
 	})
 	k.Go("src", func(p *sim.Proc) {
@@ -369,10 +357,8 @@ func TestBulkARQSurvivesLoss(t *testing.T) {
 	a, b, _ := pair(k, netlink.Config{DropProb: 0.3, DropSeed: 11})
 	dst := b.sys.AllocPort("svc")
 	a.srv.AddRoute(dst.ID, "B")
-	att := &ipc.MemAttachment{Kind: ipc.AttachData, Size: 20 * 512}
-	for i := uint64(0); i < 20; i++ {
-		att.Pages = append(att.Pages, ipc.PageImage{Index: i, Data: make([]byte, 512)})
-	}
+	att := &ipc.MemAttachment{Kind: ipc.AttachData, Size: 20 * 512,
+		Runs: []vm.PageRun{{Index: 0, Count: 20, Data: make([]byte, 20*512)}}}
 	delivered := false
 	k.Go("server", func(p *sim.Proc) {
 		b.sys.Receive(p, dst)

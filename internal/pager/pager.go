@@ -398,19 +398,27 @@ func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
 	}
 
 	body, ok := rep.Body.(*imag.ReadReply)
-	if !ok || len(body.Pages) == 0 {
+	if !ok || body.PageCount() == 0 {
 		return fmt.Errorf("pager: malformed imaginary read reply for seg %d page %d", pl.Seg.ID, pl.PageIdx)
 	}
-	for i, pd := range body.Pages {
-		// A page may have arrived earlier via prefetch and a duplicate
-		// can show up under retries; newest data wins either way.
-		pl.Seg.Materialize(pd.Index, pd.Data)
-		pg.cpu.UseHigh(p, pg.cfg.MapInCPU)
-		pg.insert(pl.Seg, pd.Index)
-		if i > 0 && pd.Index != pl.PageIdx {
-			pg.stats.PrefetchedPages++
-			pg.prefetched[pageKey{pl.Seg.ID, pd.Index}] = true
-			pg.inc("prefetch.page")
+	ps := pl.Seg.PageSize()
+	first := true
+	for _, run := range body.Runs {
+		for j := 0; j < run.Count; j++ {
+			idx := run.Index + uint64(j)
+			// A page may have arrived earlier via prefetch and a duplicate
+			// can show up under retries; newest data wins either way. The
+			// per-page map-in charge and residency insertion keep their
+			// original order even though data arrives run-batched.
+			pl.Seg.Materialize(idx, run.Page(j, ps))
+			pg.cpu.UseHigh(p, pg.cfg.MapInCPU)
+			pg.insert(pl.Seg, idx)
+			if !first && idx != pl.PageIdx {
+				pg.stats.PrefetchedPages++
+				pg.prefetched[pageKey{pl.Seg.ID, idx}] = true
+				pg.inc("prefetch.page")
+			}
+			first = false
 		}
 	}
 	return nil

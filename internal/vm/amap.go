@@ -39,7 +39,19 @@ type AMapStats struct {
 // materialized pages are visited, so sparse gigabyte spaces scan fast
 // while still yielding exact run structure.
 func BuildAMap(as *AddressSpace) *AMap {
-	m := &AMap{PageSize: as.PageSize()}
+	m := &AMap{}
+	m.Rebuild(as)
+	return m
+}
+
+// Rebuild re-derives the map from the address space in place, reusing
+// the entries buffer. The page table iterates materialized runs in
+// address order, so the sweep needs no key extraction and no sort: each
+// region contributes alternating gap/run entries in one ordered pass.
+func (m *AMap) Rebuild(as *AddressSpace) {
+	m.PageSize = as.PageSize()
+	m.Entries = m.Entries[:0]
+	m.Stats = AMapStats{}
 	ps := as.ps
 	for _, r := range as.regions {
 		m.Stats.Regions++
@@ -47,45 +59,44 @@ func BuildAMap(as *AddressSpace) *AMap {
 		lastPage := (r.SegOff + r.Size() - 1) / ps
 		m.Stats.ValidatedPages += lastPage - firstPage + 1
 
-		// Sorted materialized page indices within the mapped window.
-		var mat []uint64
-		for idx := range r.Seg.pages {
-			if idx >= firstPage && idx <= lastPage {
-				mat = append(mat, idx)
-			}
-		}
-		sort.Slice(mat, func(i, j int) bool { return mat[i] < mat[j] })
-		m.Stats.MaterializedPages += len(mat)
-
 		gapAccess := RealZeroMem
 		if r.Seg.Class == ImagSeg {
 			gapAccess = ImagMem
 		}
-		// addrOf converts a segment page index to the region-relative VA.
-		addrOf := func(idx uint64) Addr { return r.Start + Addr(idx*ps-r.SegOff) }
 
 		cursor := firstPage
-		flushGap := func(untilExcl uint64) {
-			if untilExcl > cursor {
-				m.appendRun(AMapEntry{addrOf(cursor), addrOf(untilExcl), gapAccess})
+		for {
+			start, end, ok := r.Seg.table.nextRun(cursor, lastPage)
+			if !ok {
+				break
+			}
+			m.Stats.MaterializedPages += int(end - start)
+			if start > cursor {
+				m.appendRun(AMapEntry{
+					r.Start + Addr(cursor*ps-r.SegOff),
+					r.Start + Addr(start*ps-r.SegOff),
+					gapAccess,
+				})
+			}
+			m.appendRun(AMapEntry{
+				r.Start + Addr(start*ps-r.SegOff),
+				r.Start + Addr(end*ps-r.SegOff),
+				RealMem,
+			})
+			cursor = end
+			if cursor > lastPage {
+				break
 			}
 		}
-		i := 0
-		for i < len(mat) {
-			flushGap(mat[i])
-			// Extend a run of consecutive materialized pages.
-			j := i
-			for j+1 < len(mat) && mat[j+1] == mat[j]+1 {
-				j++
-			}
-			m.appendRun(AMapEntry{addrOf(mat[i]), addrOf(mat[j] + 1), RealMem})
-			cursor = mat[j] + 1
-			i = j + 1
+		if cursor <= lastPage {
+			m.appendRun(AMapEntry{
+				r.Start + Addr(cursor*ps-r.SegOff),
+				r.Start + Addr((lastPage+1)*ps-r.SegOff),
+				gapAccess,
+			})
 		}
-		flushGap(lastPage + 1)
 	}
 	m.Stats.Runs = len(m.Entries)
-	return m
 }
 
 // appendRun adds an entry, merging with the previous one when adjacent
@@ -112,20 +123,23 @@ func (m *AMap) Classify(a Addr) Accessibility {
 
 // Slice returns the entries overlapping [start, end), clipped to that
 // window. Used by the NetMsgServer to fragment message memory (§2.4).
+// Entries are sorted, so a binary search finds the first overlap and
+// the scan exits at the first entry past the window.
 func (m *AMap) Slice(start, end Addr) []AMapEntry {
+	i := sort.Search(len(m.Entries), func(i int) bool { return m.Entries[i].End > start })
 	var out []AMapEntry
-	for _, e := range m.Entries {
-		if e.End <= start || e.Start >= end {
-			continue
+	for ; i < len(m.Entries); i++ {
+		e := m.Entries[i]
+		if e.Start >= end {
+			break
 		}
-		c := e
-		if c.Start < start {
-			c.Start = start
+		if e.Start < start {
+			e.Start = start
 		}
-		if c.End > end {
-			c.End = end
+		if e.End > end {
+			e.End = end
 		}
-		out = append(out, c)
+		out = append(out, e)
 	}
 	return out
 }

@@ -1,9 +1,6 @@
 package vm
 
-import (
-	"container/list"
-	"fmt"
-)
+import "fmt"
 
 // Evicted describes a page pushed out of physical memory. WasDirty
 // tells the pager whether a write-back (with its disk cost) occurred;
@@ -19,10 +16,16 @@ type frameKey struct {
 	index uint64
 }
 
-type frameEntry struct {
-	seg   *Segment
-	index uint64
+// frameNode is one LRU list node. Nodes live in a flat slice and link
+// by index, so steady-state insert/evict cycles recycle nodes through
+// the free chain instead of allocating container/list elements.
+type frameNode struct {
+	seg        *Segment
+	index      uint64
+	prev, next int32
 }
+
+const nilNode = int32(-1)
 
 // PhysMem models a machine's physical page frames with global LRU
 // replacement. Under Accent physical memory acts as a disk cache
@@ -30,8 +33,16 @@ type frameEntry struct {
 // and stale file pages linger until squeezed out.
 type PhysMem struct {
 	capFrames int
-	order     *list.List // front = most recently used
-	index     map[frameKey]*list.Element
+	nodes     []frameNode
+	head      int32 // most recently used
+	tail      int32 // least recently used
+	free      int32 // chain of recycled nodes through next
+	used      int
+	index     map[frameKey]int32
+
+	// evictScratch backs the slice Insert returns; it is reused on the
+	// next Insert, so callers must consume evictions before re-inserting.
+	evictScratch []Evicted
 }
 
 // NewPhysMem returns a physical memory of the given frame count.
@@ -41,8 +52,11 @@ func NewPhysMem(frames int) *PhysMem {
 	}
 	return &PhysMem{
 		capFrames: frames,
-		order:     list.New(),
-		index:     make(map[frameKey]*list.Element),
+		nodes:     make([]frameNode, 0, frames),
+		head:      nilNode,
+		tail:      nilNode,
+		free:      nilNode,
+		index:     make(map[frameKey]int32, frames),
 	}
 }
 
@@ -50,7 +64,7 @@ func NewPhysMem(frames int) *PhysMem {
 func (pm *PhysMem) Capacity() int { return pm.capFrames }
 
 // Len reports the number of occupied frames.
-func (pm *PhysMem) Len() int { return pm.order.Len() }
+func (pm *PhysMem) Len() int { return pm.used }
 
 // Resident reports whether the page occupies a frame.
 func (pm *PhysMem) Resident(seg *Segment, index uint64) bool {
@@ -58,50 +72,116 @@ func (pm *PhysMem) Resident(seg *Segment, index uint64) bool {
 	return ok
 }
 
+// alloc obtains a node slot, reusing the free chain first.
+func (pm *PhysMem) alloc() int32 {
+	if pm.free != nilNode {
+		n := pm.free
+		pm.free = pm.nodes[n].next
+		return n
+	}
+	pm.nodes = append(pm.nodes, frameNode{})
+	return int32(len(pm.nodes) - 1)
+}
+
+// unlink removes node n from the LRU list (it stays allocated).
+func (pm *PhysMem) unlink(n int32) {
+	nd := &pm.nodes[n]
+	if nd.prev != nilNode {
+		pm.nodes[nd.prev].next = nd.next
+	} else {
+		pm.head = nd.next
+	}
+	if nd.next != nilNode {
+		pm.nodes[nd.next].prev = nd.prev
+	} else {
+		pm.tail = nd.prev
+	}
+}
+
+// pushFront links node n as most recently used.
+func (pm *PhysMem) pushFront(n int32) {
+	nd := &pm.nodes[n]
+	nd.prev = nilNode
+	nd.next = pm.head
+	if pm.head != nilNode {
+		pm.nodes[pm.head].prev = n
+	}
+	pm.head = n
+	if pm.tail == nilNode {
+		pm.tail = n
+	}
+}
+
+// release returns node n to the free chain.
+func (pm *PhysMem) release(n int32) {
+	nd := &pm.nodes[n]
+	nd.seg = nil
+	nd.next = pm.free
+	pm.free = n
+}
+
 // Touch marks the page most recently used. It reports whether the page
 // was resident.
 func (pm *PhysMem) Touch(seg *Segment, index uint64) bool {
-	el, ok := pm.index[frameKey{seg.ID, index}]
+	n, ok := pm.index[frameKey{seg.ID, index}]
 	if !ok {
 		return false
 	}
-	pm.order.MoveToFront(el)
+	if pm.head != n {
+		pm.unlink(n)
+		pm.pushFront(n)
+	}
 	return true
 }
 
 // Insert makes the page resident (the page must be materialized),
 // evicting least-recently-used frames if memory is full. Evicted pages
 // are transitioned to on-disk and returned so the caller can charge
-// write-back costs for the dirty ones.
+// write-back costs for the dirty ones. The returned slice is reused by
+// the next Insert; callers must consume it before re-entering.
 func (pm *PhysMem) Insert(seg *Segment, index uint64) []Evicted {
 	pg := seg.Page(index)
 	if pg == nil {
 		panic(fmt.Sprintf("vm: Insert of unmaterialized page %d of %q", index, seg.Name))
 	}
 	key := frameKey{seg.ID, index}
-	if el, ok := pm.index[key]; ok {
-		pm.order.MoveToFront(el)
+	if n, ok := pm.index[key]; ok {
+		if pm.head != n {
+			pm.unlink(n)
+			pm.pushFront(n)
+		}
 		pg.State.Resident = true
 		return nil
 	}
 	var evicted []Evicted
-	for pm.order.Len() >= pm.capFrames {
-		back := pm.order.Back()
-		fe := back.Value.(*frameEntry)
-		pm.order.Remove(back)
+	for pm.used >= pm.capFrames {
+		back := pm.tail
+		fe := pm.nodes[back]
+		pm.unlink(back)
+		pm.release(back)
+		pm.used--
 		delete(pm.index, frameKey{fe.seg.ID, fe.index})
-		vp := fe.seg.Page(fe.index)
 		ev := Evicted{Seg: fe.seg, Index: fe.index}
-		if vp != nil {
+		if vp := fe.seg.Page(fe.index); vp != nil {
 			ev.WasDirty = vp.State.Dirty
 			vp.State.Resident = false
 			vp.State.OnDisk = true
 			vp.State.Dirty = false
 		}
+		if evicted == nil {
+			evicted = pm.evictScratch[:0]
+		}
 		evicted = append(evicted, ev)
 	}
-	el := pm.order.PushFront(&frameEntry{seg: seg, index: index})
-	pm.index[key] = el
+	if evicted != nil {
+		pm.evictScratch = evicted[:0]
+	}
+	n := pm.alloc()
+	pm.nodes[n].seg = seg
+	pm.nodes[n].index = index
+	pm.pushFront(n)
+	pm.index[key] = n
+	pm.used++
 	pg.State.Resident = true
 	return evicted
 }
@@ -111,11 +191,13 @@ func (pm *PhysMem) Insert(seg *Segment, index uint64) []Evicted {
 // machine wholesale (process excision).
 func (pm *PhysMem) Remove(seg *Segment, index uint64) {
 	key := frameKey{seg.ID, index}
-	el, ok := pm.index[key]
+	n, ok := pm.index[key]
 	if !ok {
 		return
 	}
-	pm.order.Remove(el)
+	pm.unlink(n)
+	pm.release(n)
+	pm.used--
 	delete(pm.index, key)
 	if pg := seg.Page(index); pg != nil {
 		pg.State.Resident = false
@@ -124,14 +206,16 @@ func (pm *PhysMem) Remove(seg *Segment, index uint64) {
 
 // RemoveSegment releases every frame belonging to seg.
 func (pm *PhysMem) RemoveSegment(seg *Segment) {
-	var next *list.Element
-	for el := pm.order.Front(); el != nil; el = next {
-		next = el.Next()
-		fe := el.Value.(*frameEntry)
+	var next int32
+	for n := pm.head; n != nilNode; n = next {
+		next = pm.nodes[n].next
+		fe := pm.nodes[n]
 		if fe.seg.ID != seg.ID {
 			continue
 		}
-		pm.order.Remove(el)
+		pm.unlink(n)
+		pm.release(n)
+		pm.used--
 		delete(pm.index, frameKey{fe.seg.ID, fe.index})
 		if pg := fe.seg.Page(fe.index); pg != nil {
 			pg.State.Resident = false
@@ -142,9 +226,9 @@ func (pm *PhysMem) RemoveSegment(seg *Segment) {
 // ResidentPages lists (segment, index) pairs in LRU order, most recent
 // first. Useful for resident-set extraction at migration time.
 func (pm *PhysMem) ResidentPages() []Evicted {
-	out := make([]Evicted, 0, pm.order.Len())
-	for el := pm.order.Front(); el != nil; el = el.Next() {
-		fe := el.Value.(*frameEntry)
+	out := make([]Evicted, 0, pm.used)
+	for n := pm.head; n != nilNode; n = pm.nodes[n].next {
+		fe := pm.nodes[n]
 		out = append(out, Evicted{Seg: fe.seg, Index: fe.index})
 	}
 	return out

@@ -1,0 +1,46 @@
+package vm
+
+// PageRun is the run-batched unit of page transfer: Count consecutive
+// pages starting at Index, their bytes concatenated in Data (the final
+// page may be partial). One run replaces Count per-page entries, so a
+// contiguous materialized region crosses every layer — attachment,
+// wire, imaginary store, fault reply — as one header plus one buffer
+// instead of one Go object per 512-byte page.
+//
+// Cost accounting is unchanged by batching: the wire estimate still
+// charges one page header per page (see ipc.Message.WireBytes and
+// imag.ReadReply.Bytes), exactly as the per-page representation did.
+type PageRun struct {
+	Index uint64 // first page index
+	Count int    // pages in the run
+	Data  []byte // Count pages concatenated; final page may be partial
+}
+
+// Page returns the i-th page's bytes within the run, given the page
+// stride. The final page may be shorter than pageSize.
+func (r PageRun) Page(i, pageSize int) []byte {
+	lo := i * pageSize
+	hi := lo + pageSize
+	if hi > len(r.Data) {
+		hi = len(r.Data)
+	}
+	return r.Data[lo:hi]
+}
+
+// RunPageCount sums the pages carried by a run list.
+func RunPageCount(runs []PageRun) int {
+	n := 0
+	for _, r := range runs {
+		n += r.Count
+	}
+	return n
+}
+
+// RunDataBytes sums the payload bytes carried by a run list.
+func RunDataBytes(runs []PageRun) int {
+	n := 0
+	for _, r := range runs {
+		n += len(r.Data)
+	}
+	return n
+}

@@ -34,6 +34,10 @@ type PageState struct {
 
 // Page is one materialized page of a segment. Unmaterialized pages
 // (conceptual zeros, or imaginary pages not yet fetched) have no Page.
+// Pages live by value inside page-table chunks; pointers returned by
+// Segment methods stay valid for the life of the segment (chunks are
+// never reallocated), but callers must not retain them across segment
+// death.
 type Page struct {
 	Index uint64 // page index within the segment
 	Data  []byte
@@ -71,7 +75,8 @@ type Segment struct {
 	Size        uint64 // bytes
 
 	pageSize int
-	pages    map[uint64]*Page
+	table    pageTable
+	pool     *FramePool // nil: fall back to per-page allocation
 
 	refs    int    // live region mappings
 	onDeath func() // invoked when refs drops to zero (§2.2 Death message)
@@ -91,7 +96,6 @@ func NewSegment(name string, size uint64, pageSize int) *Segment {
 		Class:    RealSeg,
 		Size:     size,
 		pageSize: pageSize,
-		pages:    make(map[uint64]*Page),
 	}
 }
 
@@ -104,6 +108,28 @@ func NewImaginarySegment(name string, size uint64, pageSize int, backingPort uin
 	return s
 }
 
+// SetPool attaches a frame pool; subsequent page materializations and
+// COW breaks draw their data frames from it, and ReleaseFrames returns
+// them. The pool must serve frames of the segment's page size.
+func (s *Segment) SetPool(p *FramePool) {
+	if p != nil && p.PageSize() != s.pageSize {
+		panic(fmt.Sprintf("vm: pool page size %d != segment page size %d", p.PageSize(), s.pageSize))
+	}
+	s.pool = p
+}
+
+// Pool returns the attached frame pool, if any.
+func (s *Segment) Pool() *FramePool { return s.pool }
+
+// frame obtains a page-size data frame from the pool or the allocator.
+// Contents are unspecified; every caller overwrites the full frame.
+func (s *Segment) frame() []byte {
+	if s.pool != nil {
+		return s.pool.Get()
+	}
+	return make([]byte, s.pageSize)
+}
+
 // PageSize reports the segment's page size in bytes.
 func (s *Segment) PageSize() int { return s.pageSize }
 
@@ -113,10 +139,24 @@ func (s *Segment) Pages() uint64 {
 }
 
 // Page returns the materialized page at index, or nil.
-func (s *Segment) Page(index uint64) *Page { return s.pages[index] }
+func (s *Segment) Page(index uint64) *Page { return s.table.get(index) }
 
 // MaterializedPages reports how many pages hold actual data.
-func (s *Segment) MaterializedPages() int { return len(s.pages) }
+func (s *Segment) MaterializedPages() int { return s.table.count }
+
+// NextRun finds the next contiguous run of materialized pages within
+// [from, last] (inclusive bounds, end exclusive). It is the batching
+// primitive for run-oriented transfer: one ordered bitmap sweep, no key
+// extraction, no sort.
+func (s *Segment) NextRun(from, last uint64) (start, end uint64, ok bool) {
+	return s.table.nextRun(from, last)
+}
+
+// MaterializedInRange counts materialized pages within [first, last]
+// by bitmap popcount.
+func (s *Segment) MaterializedInRange(first, last uint64) int {
+	return s.table.countRange(first, last)
+}
 
 // Materialize installs data for page index, creating the Page if
 // needed. The data is copied; len(data) must equal the page size (or be
@@ -128,15 +168,51 @@ func (s *Segment) Materialize(index uint64, data []byte) *Page {
 	if len(data) > s.pageSize {
 		panic(fmt.Sprintf("vm: materialize with %d bytes > page size %d", len(data), s.pageSize))
 	}
-	p := s.pages[index]
-	if p == nil {
-		p = &Page{Index: index}
-		s.pages[index] = p
+	p, present := s.table.ensure(index, s.Pages())
+	if !present {
+		// The slot may be recycled from an earlier page's tenure; reset
+		// everything but keep any frame left behind for reuse.
+		p.Index = index
+		p.State = PageState{}
+		p.Version = 0
+		if p.shares != nil {
+			p.shares = nil
+			p.Data = nil // was COW-shared: the bytes belong to the sharers
+		}
+	} else if p.Shared() {
+		// Re-materializing over a shared mapping detaches this page from
+		// the sharing set without disturbing the other sharers' count —
+		// their deferred-copy accounting is unchanged, exactly as before.
+		p.shares = nil
+		p.Data = nil
+	} else {
+		p.shares = nil
 	}
-	p.Data = make([]byte, s.pageSize)
-	copy(p.Data, data)
-	p.shares = nil
+	if p.Data == nil {
+		p.Data = s.frame()
+	}
+	n := copy(p.Data, data)
+	clear(p.Data[n:])
 	return p
+}
+
+// MaterializeRun installs count consecutive pages starting at start
+// from data, which holds the pages' bytes concatenated in order (the
+// final page may be partial). It returns the first installed page.
+func (s *Segment) MaterializeRun(start uint64, count int, data []byte) *Page {
+	var first *Page
+	for i := 0; i < count; i++ {
+		lo := i * s.pageSize
+		hi := lo + s.pageSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		p := s.Materialize(start+uint64(i), data[lo:hi])
+		if first == nil {
+			first = p
+		}
+	}
+	return first
 }
 
 // MaterializeZero installs an all-zero page (the FillZero fault result).
@@ -156,30 +232,65 @@ func (s *Segment) AdoptShared(index uint64, src *Page) *Page {
 		src.shares = &n
 	}
 	*src.shares++
-	p := &Page{Index: index, Data: src.Data, shares: src.shares, State: src.State}
+	p, present := s.table.ensure(index, s.Pages())
+	if present && p.Data != nil && !p.Shared() && s.pool != nil {
+		// Overwriting a privately owned page: its frame is free again.
+		s.pool.Put(p.Data)
+	}
+	p.Index = index
+	p.Data = src.Data
+	p.shares = src.shares
+	p.State = src.State
 	p.State.Resident = false // residency is per-site, set by the caller
 	p.State.OnDisk = false
-	s.pages[index] = p
+	p.Version = 0
 	return p
 }
 
+// zeroRead serves reads of unmaterialized pages without allocating: a
+// shared all-zero buffer handed out read-only. Reads longer than the
+// buffer (page sizes beyond 64 KB) fall back to allocation.
+var zeroRead [1 << 16]byte
+
 // Read returns up to n bytes of the page at index starting at off. A
-// missing page reads as zeros.
+// missing page reads as zeros — served from a shared zero buffer, so
+// the returned slice is READ-ONLY; callers that mutate must copy (or
+// use ReadInto with their own buffer).
 func (s *Segment) Read(index uint64, off, n int) []byte {
-	out := make([]byte, n)
-	p := s.pages[index]
+	p := s.table.get(index)
 	if p == nil || p.Data == nil {
-		return out
+		if n <= len(zeroRead) {
+			return zeroRead[:n:n]
+		}
+		return make([]byte, n)
 	}
+	out := make([]byte, n)
 	copy(out, p.Data[off:])
 	return out
+}
+
+// ReadInto fills dst from the page at index starting at off, zeroing
+// any part not covered by materialized data (missing page, or a read
+// past the page's extent). It is the copy-free counterpart of Read for
+// callers that own a reusable buffer.
+func (s *Segment) ReadInto(index uint64, off int, dst []byte) {
+	p := s.table.get(index)
+	if p == nil || p.Data == nil {
+		clear(dst)
+		return
+	}
+	n := 0
+	if off < len(p.Data) {
+		n = copy(dst, p.Data[off:])
+	}
+	clear(dst[n:])
 }
 
 // Write stores data into the page at index starting at off, performing
 // the deferred copy if the page is COW-shared, and marks it dirty. The
 // page must already be materialized.
 func (s *Segment) Write(index uint64, off int, data []byte) {
-	p := s.pages[index]
+	p := s.table.get(index)
 	if p == nil {
 		panic(fmt.Sprintf("vm: write to unmaterialized page %d of %q", index, s.Name))
 	}
@@ -196,8 +307,11 @@ func (s *Segment) breakCOW(p *Page) bool {
 		return false
 	}
 	*p.shares--
-	fresh := make([]byte, len(p.Data))
+	fresh := s.frame()
 	copy(fresh, p.Data)
+	if len(p.Data) < len(fresh) {
+		clear(fresh[len(p.Data):])
+	}
 	p.Data = fresh
 	p.shares = nil
 	return true
@@ -206,11 +320,35 @@ func (s *Segment) breakCOW(p *Page) bool {
 // BreakCOW exposes the deferred-copy operation for the IPC layer, which
 // must charge its cost. It reports whether a physical copy happened.
 func (s *Segment) BreakCOW(index uint64) bool {
-	p := s.pages[index]
+	p := s.table.get(index)
 	if p == nil {
 		return false
 	}
 	return s.breakCOW(p)
+}
+
+// ReleaseFrames returns every privately owned page frame to the
+// attached pool and empties the page table. COW-shared frames are left
+// to their surviving sharers. Called when a segment's data is no longer
+// needed (segment death, process excision after collapse).
+func (s *Segment) ReleaseFrames() {
+	if s.table.count == 0 {
+		s.table = pageTable{}
+		return
+	}
+	last := s.Pages() - 1
+	for idx, ok := s.table.nextPresent(0, last); ok; idx, ok = s.table.nextPresent(idx+1, last) {
+		p := s.table.get(idx)
+		if s.pool != nil && p.Data != nil && p.shares == nil {
+			s.pool.Put(p.Data)
+		}
+		p.Data = nil
+		p.shares = nil
+		if idx == last {
+			break
+		}
+	}
+	s.table = pageTable{}
 }
 
 // Ref records a new mapping reference (a region now maps this segment).
@@ -223,10 +361,14 @@ func (s *Segment) Unref() {
 		panic(fmt.Sprintf("vm: unref of unreferenced segment %q", s.Name))
 	}
 	s.refs--
-	if s.refs == 0 && s.onDeath != nil {
-		fn := s.onDeath
-		s.onDeath = nil
-		fn()
+	if s.refs == 0 {
+		if s.onDeath != nil {
+			fn := s.onDeath
+			s.onDeath = nil
+			fn()
+		}
+		// No mapping can reach the data anymore; recycle the frames.
+		s.ReleaseFrames()
 	}
 }
 

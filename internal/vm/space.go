@@ -64,6 +64,9 @@ func (as *AddressSpace) Validate(start Addr, size uint64, name string) (*Region,
 	}
 	size = as.pageAlign(size)
 	seg := NewSegment(name, size, int(as.ps))
+	if as.cfg.Pool != nil {
+		seg.SetPool(as.cfg.Pool)
+	}
 	return as.MapSegment(start, size, seg, 0, name)
 }
 
@@ -223,9 +226,10 @@ func (u Usage) PctRealZero() float64 {
 	return 100 * float64(u.RealZero) / float64(u.Total)
 }
 
-// Usage scans the space and tallies its composition. The scan iterates
-// only materialized pages, so even a fully validated 4 GB Lisp space
-// (8M page slots, a few thousand real pages) is cheap to summarize.
+// Usage scans the space and tallies its composition. Materialized page
+// counts come from page-table bitmap popcounts, and residency from an
+// ordered run sweep, so even a fully validated 4 GB Lisp space (8M page
+// slots, a few thousand real pages) is cheap to summarize.
 func (as *AddressSpace) Usage() Usage {
 	var u Usage
 	for _, r := range as.regions {
@@ -233,14 +237,22 @@ func (as *AddressSpace) Usage() Usage {
 		firstPage := r.SegOff / as.ps
 		lastPage := (r.SegOff + r.Size() - 1) / as.ps
 		slots := lastPage - firstPage + 1
-		var mat, res uint64
-		for idx, pg := range r.Seg.pages {
-			if idx < firstPage || idx > lastPage {
-				continue
+		mat := uint64(r.Seg.table.countRange(firstPage, lastPage))
+		var res uint64
+		cursor := firstPage
+		for {
+			start, end, ok := r.Seg.table.nextRun(cursor, lastPage)
+			if !ok {
+				break
 			}
-			mat++
-			if pg.State.Resident {
-				res++
+			for idx := start; idx < end; idx++ {
+				if r.Seg.table.get(idx).State.Resident {
+					res++
+				}
+			}
+			cursor = end
+			if cursor > lastPage {
+				break
 			}
 		}
 		u.Real += mat * as.ps
@@ -260,11 +272,7 @@ func (as *AddressSpace) TouchedPages() int {
 	for _, r := range as.regions {
 		firstPage := r.SegOff / as.ps
 		lastPage := (r.SegOff + r.Size() - 1) / as.ps
-		for idx := range r.Seg.pages {
-			if idx >= firstPage && idx <= lastPage {
-				n++
-			}
-		}
+		n += r.Seg.table.countRange(firstPage, lastPage)
 	}
 	return n
 }

@@ -60,6 +60,9 @@ func (a Accessibility) String() string {
 type Config struct {
 	// PageSize in bytes; must be a power of two. Defaults to 512.
 	PageSize int
+	// Pool, when set, supplies recycled page frames to every segment
+	// the space creates via Validate. Its page size must match.
+	Pool *FramePool
 }
 
 func (c Config) pageSize() int {

@@ -1,0 +1,7 @@
+package vmbench
+
+import "testing"
+
+func BenchmarkResidentTouch(b *testing.B)   { ResidentTouch(b) }
+func BenchmarkBuildAMapSparse(b *testing.B) { BuildAMapSparse(b) }
+func BenchmarkCOWBreak(b *testing.B)        { COWBreak(b) }

@@ -135,10 +135,11 @@ func encodeAttachment(w *buf, a *ipc.MemAttachment) {
 	w.u64(a.SegOff)
 	w.u64(a.SegSize)
 	w.u64(uint64(a.Backing))
-	w.u32(uint32(len(a.Pages)))
-	for _, pg := range a.Pages {
-		w.u64(pg.Index)
-		w.bytes(pg.Data)
+	w.u32(uint32(len(a.Runs)))
+	for _, run := range a.Runs {
+		w.u64(run.Index)
+		w.u32(uint32(run.Count))
+		w.bytes(run.Data)
 	}
 }
 
@@ -208,7 +209,8 @@ func decodeAttachment(r *rdr) *ipc.MemAttachment {
 	n := int(r.u32())
 	for i := 0; i < n; i++ {
 		idx := r.u64()
-		a.Pages = append(a.Pages, ipc.PageImage{Index: idx, Data: r.bytes()})
+		count := int(r.u32())
+		a.Runs = append(a.Runs, vm.PageRun{Index: idx, Count: count, Data: r.bytes()})
 	}
 	return a
 }
@@ -265,10 +267,11 @@ func init() {
 			}
 			w := &buf{}
 			w.u64(rp.SegID)
-			w.u32(uint32(len(rp.Pages)))
-			for _, pg := range rp.Pages {
-				w.u64(pg.Index)
-				w.bytes(pg.Data)
+			w.u32(uint32(len(rp.Runs)))
+			for _, run := range rp.Runs {
+				w.u64(run.Index)
+				w.u32(uint32(run.Count))
+				w.bytes(run.Data)
 			}
 			return w.b, nil, nil
 		},
@@ -278,7 +281,8 @@ func init() {
 			n := int(r.u32())
 			for i := 0; i < n; i++ {
 				idx := r.u64()
-				rp.Pages = append(rp.Pages, imag.PageData{Index: idx, Data: r.bytes()})
+				count := int(r.u32())
+				rp.Runs = append(rp.Runs, vm.PageRun{Index: idx, Count: count, Data: r.bytes()})
 			}
 			return rp, nil
 		},

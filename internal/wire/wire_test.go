@@ -35,9 +35,9 @@ func TestRoundTripDataAttachment(t *testing.T) {
 	att := &ipc.MemAttachment{
 		Kind: ipc.AttachData, VA: 0x1234000, Size: 2 * 512,
 		Collapsed: true, Resident: true, Copy: true,
-		Pages: []ipc.PageImage{
-			{Index: 0, Data: []byte("page zero contents")},
-			{Index: 1, Data: bytes.Repeat([]byte{0xAB}, 512)},
+		Runs: []vm.PageRun{
+			{Index: 0, Count: 1, Data: []byte("page zero contents")},
+			{Index: 7, Count: 1, Data: bytes.Repeat([]byte{0xAB}, 512)},
 		},
 	}
 	m := &ipc.Message{Op: 1, Mem: []*ipc.MemAttachment{att}}
@@ -47,13 +47,29 @@ func TestRoundTripDataAttachment(t *testing.T) {
 		!oa.Collapsed || !oa.Resident || !oa.Copy {
 		t.Errorf("attachment fields lost: %+v", oa)
 	}
-	if len(oa.Pages) != 2 || !bytes.Equal(oa.Pages[1].Data, att.Pages[1].Data) {
+	if len(oa.Runs) != 2 || oa.Runs[1].Index != 7 || !bytes.Equal(oa.Runs[1].Data, att.Runs[1].Data) {
 		t.Error("page data corrupted")
 	}
 	// Deep copy: mutating the original must not affect the decoded one.
-	att.Pages[1].Data[0] = 0xFF
-	if oa.Pages[1].Data[0] == 0xFF {
+	att.Runs[1].Data[0] = 0xFF
+	if oa.Runs[1].Data[0] == 0xFF {
 		t.Error("decoded message shares page buffers with the source")
+	}
+}
+
+func TestRoundTripMultiPageRun(t *testing.T) {
+	att := &ipc.MemAttachment{
+		Kind: ipc.AttachData, Size: 4 * 512,
+		Runs: []vm.PageRun{{Index: 3, Count: 4, Data: bytes.Repeat([]byte{0xCD}, 4 * 512)}},
+	}
+	out := roundTrip(t, &ipc.Message{Op: 1, Mem: []*ipc.MemAttachment{att}})
+	oa := out.Mem[0]
+	if len(oa.Runs) != 1 || oa.Runs[0].Index != 3 || oa.Runs[0].Count != 4 ||
+		!bytes.Equal(oa.Runs[0].Data, att.Runs[0].Data) {
+		t.Errorf("multi-page run corrupted: %+v", oa.Runs)
+	}
+	if oa.PageCount() != 4 {
+		t.Errorf("PageCount = %d, want 4", oa.PageCount())
 	}
 }
 
@@ -74,7 +90,7 @@ func TestRoundTripIOUAttachment(t *testing.T) {
 func TestRoundTripImagBodies(t *testing.T) {
 	cases := []*ipc.Message{
 		{Op: imag.OpReadRequest, Body: &imag.ReadRequest{SegID: 5, PageIdx: 9, Prefetch: 3}, BodyBytes: imag.ReadRequestBytes},
-		{Op: imag.OpReadReply, Body: &imag.ReadReply{SegID: 5, Pages: []imag.PageData{{Index: 9, Data: []byte("hi")}}}},
+		{Op: imag.OpReadReply, Body: &imag.ReadReply{SegID: 5, Runs: []vm.PageRun{{Index: 9, Count: 1, Data: []byte("hi")}}}},
 		{Op: imag.OpFlushReply, Body: &imag.ReadReply{SegID: 5}},
 		{Op: imag.OpSegmentDeath, Body: &imag.SegmentDeath{SegID: 5}, BodyBytes: imag.SegmentDeathBytes},
 		{Op: imag.OpFlush, Body: &imag.FlushRequest{SegID: 5}, BodyBytes: imag.FlushRequestBytes},
@@ -89,13 +105,14 @@ func TestRoundTripImagBodies(t *testing.T) {
 			}
 		case *imag.ReadReply:
 			got := out.Body.(*imag.ReadReply)
-			if got.SegID != want.SegID || len(got.Pages) != len(want.Pages) {
+			if got.SegID != want.SegID || len(got.Runs) != len(want.Runs) {
 				t.Errorf("ReadReply: %+v vs %+v", got, want)
 			}
-			for i := range want.Pages {
-				if got.Pages[i].Index != want.Pages[i].Index ||
-					!bytes.Equal(got.Pages[i].Data, want.Pages[i].Data) {
-					t.Errorf("ReadReply page %d mismatch", i)
+			for i := range want.Runs {
+				if got.Runs[i].Index != want.Runs[i].Index ||
+					got.Runs[i].Count != want.Runs[i].Count ||
+					!bytes.Equal(got.Runs[i].Data, want.Runs[i].Data) {
+					t.Errorf("ReadReply run %d mismatch", i)
 				}
 			}
 		case *imag.SegmentDeath:
@@ -128,7 +145,7 @@ func TestNilBody(t *testing.T) {
 func TestTruncatedFrame(t *testing.T) {
 	m := &ipc.Message{Op: 1, BodyBytes: 5, Mem: []*ipc.MemAttachment{{
 		Kind: ipc.AttachData, Size: 512,
-		Pages: []ipc.PageImage{{Index: 0, Data: make([]byte, 512)}},
+		Runs: []vm.PageRun{{Index: 0, Count: 1, Data: make([]byte, 512)}},
 	}}}
 	frame, extras, err := EncodeMessage(m)
 	if err != nil {
@@ -156,9 +173,7 @@ func TestFrameBytesTracksWireBytes(t *testing.T) {
 	// stay within a small factor for representative message shapes.
 	mk := func(pages int) *ipc.Message {
 		att := &ipc.MemAttachment{Kind: ipc.AttachData, Size: uint64(pages) * 512}
-		for i := 0; i < pages; i++ {
-			att.Pages = append(att.Pages, ipc.PageImage{Index: uint64(i), Data: make([]byte, 512)})
-		}
+		att.Runs = append(att.Runs, vm.PageRun{Index: 0, Count: pages, Data: make([]byte, pages*512)})
 		return &ipc.Message{Op: 1, BodyBytes: 64, Mem: []*ipc.MemAttachment{att}}
 	}
 	for _, pages := range []int{1, 16, 256} {
@@ -190,7 +205,7 @@ func TestQuickAttachmentRoundTrip(t *testing.T) {
 				if len(d) > 512 {
 					d = d[:512]
 				}
-				att.Pages = append(att.Pages, ipc.PageImage{Index: uint64(i), Data: d})
+				att.AppendPage(uint64(i), d)
 			}
 		}
 		out, err := Transfer(&ipc.Message{Op: 3, Mem: []*ipc.MemAttachment{att}})
@@ -203,11 +218,12 @@ func TestQuickAttachmentRoundTrip(t *testing.T) {
 			oa.SegID != att.SegID || oa.SegOff != att.SegOff {
 			return false
 		}
-		if len(oa.Pages) != len(att.Pages) {
+		if len(oa.Runs) != len(att.Runs) {
 			return false
 		}
-		for i := range att.Pages {
-			if !bytes.Equal(oa.Pages[i].Data, att.Pages[i].Data) {
+		for i := range att.Runs {
+			if oa.Runs[i].Index != att.Runs[i].Index || oa.Runs[i].Count != att.Runs[i].Count ||
+				!bytes.Equal(oa.Runs[i].Data, att.Runs[i].Data) {
 				return false
 			}
 		}
