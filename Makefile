@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check faultcheck benchsmoke report bench clean
+.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke identity report bench clean
 
 all: build
 
@@ -16,7 +16,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race faultcheck benchsmoke
+check: build vet test race faultcheck benchsmoke pipelinesmoke identity
 
 # Fault-injection determinism gate: the resilience experiment — lossy
 # sweeps, crashes, a partition — must be byte-identical across two
@@ -36,17 +36,33 @@ benchsmoke:
 	$(GO) test -count=1 -run xxx -bench . -benchtime 100x ./internal/vmbench/
 	@echo "benchsmoke: zero-alloc gates hold"
 
+# Pipelined-transport smoke: the window/streaming sweep must run end to
+# end on a two-workload subset (exercises the windowed wire, split-reply
+# streaming, and the stall table).
+pipelinesmoke:
+	$(GO) run ./cmd/migsim -exp pipeline -kinds Minprog,Lisp-Del > /dev/null
+	@echo "pipelinesmoke: window/streaming sweep runs"
+
+# Stop-and-wait identity gate: with the pipelined transport merged, the
+# default configuration (W=1, K=1) must still produce byte-identical
+# experiment output to the committed golden.
+identity:
+	$(GO) run ./cmd/migsim -exp all > /tmp/identity.out
+	cmp /tmp/identity.out testdata/exp_all.golden
+	@echo "identity: default-path output matches testdata/exp_all.golden"
+
 # Regenerate the measured side of EXPERIMENTS.md.
 report:
 	$(GO) run ./cmd/migreport > EXPERIMENTS.md
 
 # Regenerate the simulator-performance baselines: per-cell wall-clock
-# plus sequential-vs-engine sweep timings (BENCH_grid.json) and the
-# VM-layer microbenchmarks (BENCH_vm.json). The engine sweep pins four
-# workers so the parallel measurement exercises real contention even on
-# single-core runners.
+# plus sequential-vs-engine sweep timings (BENCH_grid.json), the
+# VM-layer microbenchmarks (BENCH_vm.json), and the transport window
+# sweep (BENCH_wire.json). The engine sweep pins four workers so the
+# parallel measurement exercises real contention even on single-core
+# runners.
 bench:
-	$(GO) run ./cmd/migbench -parallel 4 -o BENCH_grid.json -vm BENCH_vm.json
+	$(GO) run ./cmd/migbench -parallel 4 -o BENCH_grid.json -vm BENCH_vm.json -wire BENCH_wire.json
 
 clean:
 	$(GO) clean ./...

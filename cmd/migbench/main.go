@@ -13,13 +13,16 @@
 //
 // It also measures the VM-layer microbenchmarks (resident-touch
 // latency, sparse-4GB AMap rebuild, COW break) with allocation counts
-// and writes them to a second report (BENCH_vm.json by default).
+// and writes them to a second report (BENCH_vm.json by default), and
+// the pipelined-transport sweep (the same 1 MB pure-copy migration at
+// each send-window setting) to a third (BENCH_wire.json by default).
 //
 // Usage:
 //
-//	migbench                 # full grid -> BENCH_grid.json, vm -> BENCH_vm.json
+//	migbench                 # grid -> BENCH_grid.json, vm -> BENCH_vm.json, wire -> BENCH_wire.json
 //	migbench -o out.json -kinds Minprog,Chess -parallel 8
 //	migbench -vmonly -vm /tmp/vm.json
+//	migbench -wireonly -wire /tmp/wire.json
 package main
 
 import (
@@ -50,6 +53,7 @@ type Cell struct {
 // Baseline is the whole report.
 type Baseline struct {
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	CPUs       int     `json:"cpus"` // host cores; bounds any grid_speedup
 	Workers    int     `json:"workers"`
 	Cells      int     `json:"cells"`
 	SeqWallS   float64 `json:"grid_seq_wall_s"`      // sequential sweep, no cache
@@ -64,8 +68,18 @@ func main() {
 	parallel := flag.Int("parallel", 0, "engine worker-pool width (0 = GOMAXPROCS)")
 	vmOut := flag.String("vm", "BENCH_vm.json", "VM microbenchmark output file (empty = skip)")
 	vmOnly := flag.Bool("vmonly", false, "run only the VM microbenchmarks")
+	wireOut := flag.String("wire", "BENCH_wire.json", "transport window-sweep output file (empty = skip)")
+	wireOnly := flag.Bool("wireonly", false, "run only the transport window sweep")
 	flag.Parse()
 
+	if *wireOut != "" && !*vmOnly {
+		if err := runWireBenchmarks(*wireOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *wireOnly {
+		return
+	}
 	if *vmOut != "" {
 		if err := runVMBenchmarks(*vmOut); err != nil {
 			fatal(err)
@@ -82,7 +96,7 @@ func main() {
 
 	cfg := experiments.Config{}
 	keys := experiments.GridKeys(kinds)
-	b := Baseline{GOMAXPROCS: runtime.GOMAXPROCS(0), Cells: len(keys)}
+	b := Baseline{GOMAXPROCS: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU(), Cells: len(keys)}
 
 	// Per-cell wall-clock, measured on one core with no cache in play.
 	seqStart := time.Now()

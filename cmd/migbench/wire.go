@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"accentmig/internal/core"
+	"accentmig/internal/machine"
+	"accentmig/internal/netlink"
+	"accentmig/internal/sim"
+	"accentmig/internal/trace"
+)
+
+// wirePages sizes the transport benchmark's pure-copy migration: 2048
+// pages of 512 bytes = 1 MB of segment data on the wire.
+const wirePages = 2048
+
+// WireRow is one send-window setting's measured transfer.
+type WireRow struct {
+	Window      int     `json:"window"`
+	SimXferS    float64 `json:"sim_xfer_s"`     // simulated RIMAS transfer seconds
+	Frames      uint64  `json:"frames"`         // link frames carried
+	FramesPerS  float64 `json:"frames_per_sec"` // frames per simulated second
+	Events      uint64  `json:"events"`         // DES events the run cost
+	HostWallMS  float64 `json:"host_wall_ms"`   // host time to simulate the run
+	AllocsPerOp uint64  `json:"allocs_per_op"`  // host heap allocations for the run
+	BytesPerOp  uint64  `json:"bytes_per_op"`   // host heap bytes for the run
+}
+
+// WireReport is the transport benchmark: the same 1 MB pure-copy
+// migration at each send-window setting. W=1 is the stop-and-wait
+// baseline; the speedup field is the W=16 acceptance headline.
+type WireReport struct {
+	TransferBytes uint64    `json:"transfer_bytes"`
+	W16SimSpeedup float64   `json:"w16_sim_speedup"`
+	Rows          []WireRow `json:"rows"`
+}
+
+// runWireOnce simulates one pure-copy migration of a 1 MB process at
+// the given send window and returns the row (without host-side cost
+// fields, which the caller measures around this call).
+func runWireOnce(window int) (WireRow, error) {
+	k := sim.New()
+	mcfg := machine.Config{}
+	if window > 1 {
+		mcfg.Net.Window = window
+	}
+	src := machine.New(k, "src", mcfg)
+	dst := machine.New(k, "dst", mcfg)
+	link := machine.Connect(src, dst, netlink.Config{})
+	srcM := core.NewManager(src, core.DefaultTuning())
+	dstM := core.NewManager(dst, core.DefaultTuning())
+	src.Net.AddRoute(dstM.Port.ID, "dst")
+	dst.Net.AddRoute(srcM.Port.ID, "src")
+
+	pr, err := src.NewProcess("job", 1)
+	if err != nil {
+		return WireRow{}, err
+	}
+	reg, err := pr.AS.Validate(0, wirePages*512, "data")
+	if err != nil {
+		return WireRow{}, err
+	}
+	buf := make([]byte, 512)
+	for i := uint64(0); i < wirePages; i++ {
+		reg.Seg.Materialize(i, buf)
+	}
+	pr.Program = &trace.Program{Ops: []trace.Op{trace.MigratePoint{}}}
+	src.Start(pr)
+
+	var rep *core.Report
+	var migErr error
+	k.Go("driver", func(p *sim.Proc) {
+		rep, migErr = srcM.MigrateTo(p, "job", dstM.Port.ID, core.Options{
+			Strategy: core.PureCopy, HoldAtDest: true,
+		})
+	})
+	k.Run()
+	if migErr != nil {
+		return WireRow{}, migErr
+	}
+	row := WireRow{
+		Window:   window,
+		SimXferS: rep.RIMASTransfer.Seconds(),
+		Frames:   link.Frames(),
+		Events:   k.EventsRun(),
+	}
+	if s := rep.RIMASTransfer.Seconds(); s > 0 {
+		row.FramesPerS = float64(row.Frames) / s
+	}
+	return row, nil
+}
+
+// runWireBenchmarks sweeps the send window over the 1 MB transfer and
+// writes the report to path.
+func runWireBenchmarks(path string) error {
+	report := WireReport{TransferBytes: wirePages * 512}
+	var m0, m1 runtime.MemStats
+	for _, w := range []int{1, 4, 16, 64} {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		row, err := runWireOnce(w)
+		if err != nil {
+			return err
+		}
+		row.HostWallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+		runtime.ReadMemStats(&m1)
+		row.AllocsPerOp = m1.Mallocs - m0.Mallocs
+		row.BytesPerOp = m1.TotalAlloc - m0.TotalAlloc
+		report.Rows = append(report.Rows, row)
+	}
+	if base, w16 := report.Rows[0].SimXferS, findWireRow(report.Rows, 16); w16 != nil && w16.SimXferS > 0 {
+		report.W16SimSpeedup = base / w16.SimXferS
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("migbench: wire sweep (%d pages", wirePages)
+	for _, r := range report.Rows {
+		fmt.Printf(", W=%d %.1fs", r.Window, r.SimXferS)
+	}
+	fmt.Printf(", W16 speedup %.2fx) -> %s\n", report.W16SimSpeedup, path)
+	return nil
+}
+
+func findWireRow(rows []WireRow, w int) *WireRow {
+	for i := range rows {
+		if rows[i].Window == w {
+			return &rows[i]
+		}
+	}
+	return nil
+}

@@ -9,6 +9,8 @@
 //	migsim -exp figure4-1 -kinds Minprog,Chess
 //	migsim -exp all -parallel 1     # force sequential trials
 //	migsim -exp resilience          # fault-injection sweep
+//	migsim -exp pipeline            # windowed-transport sweep (not part of 'all')
+//	migsim -exp summary -window 16  # any experiment under a pipelined transport
 //	migsim -exp table4-5 -faults plan.json -max-retries 2
 //	migsim -list
 //
@@ -42,6 +44,12 @@ var experimentOrder = []string{
 	"resilience",
 }
 
+// extraExperiments run only when named explicitly. The pipeline sweep
+// flips the transport out of its paper-faithful stop-and-wait default,
+// so it stays out of -exp all to keep that output byte-identical
+// across releases.
+var extraExperiments = []string{"pipeline"}
+
 var tunables struct {
 	physFrames int
 	bandwidth  int
@@ -51,6 +59,9 @@ var tunables struct {
 	faultsPath string
 	crashAt    string
 	maxRetries int
+
+	window      int
+	outstanding int
 
 	sink interface {
 		obs.Sink
@@ -68,6 +79,8 @@ func main() {
 	flag.StringVar(&tunables.faultsPath, "faults", "", "JSON fault plan file injected into every trial (see docs/RESILIENCE.md)")
 	flag.StringVar(&tunables.crashAt, "crash-at", "", "crash the source machine's backer at this migration phase (excise, xfer.core, xfer.rimas, remote)")
 	flag.IntVar(&tunables.maxRetries, "max-retries", -1, "migration retry budget with strategy degradation (-1 = experiment default)")
+	flag.IntVar(&tunables.window, "window", 0, "transport send window in fragments (0/1 = paper-faithful stop-and-wait)")
+	flag.IntVar(&tunables.outstanding, "outstanding", 0, "outstanding IOU page-run fetches per pager (0/1 = serial demand faults)")
 	flag.BoolVar(&tunables.csv, "csv", false, "emit figure data as CSV instead of text")
 	trace := flag.String("trace", "", "write a flight-recorder trace of every simulation to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
@@ -79,6 +92,9 @@ func main() {
 
 	if *list {
 		for _, id := range experimentOrder {
+			fmt.Println(id)
+		}
+		for _, id := range extraExperiments {
 			fmt.Println(id)
 		}
 		return
@@ -186,6 +202,12 @@ func run(id string, kinds []workload.Kind) error {
 	cfg := experiments.Config{}
 	cfg.Machine.PhysFrames = tunables.physFrames
 	cfg.Link.BytesPerSecond = tunables.bandwidth
+	if tunables.window > 1 {
+		cfg.Machine.Net.Window = tunables.window
+	}
+	if tunables.outstanding > 1 {
+		cfg.Machine.Pager.Outstanding = tunables.outstanding
+	}
 	plan, err := faultPlan()
 	if err != nil {
 		return err
@@ -318,6 +340,12 @@ func run(id string, kinds []workload.Kind) error {
 			return err
 		}
 		fmt.Println(experiments.FormatResilience(t))
+	case "pipeline":
+		t, err := experiments.Pipeline(cfg, kinds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatPipeline(t))
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

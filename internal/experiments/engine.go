@@ -141,7 +141,13 @@ func (e *Engine) Trial(cfg Config, k workload.Kind, s core.Strategy, pf int) (*T
 	if cfg.Sink != nil {
 		return RunTrial(cfg, k, s, pf)
 	}
-	key := cacheKey{fp: cfg.fingerprint(), variant: variantGrid, GridKey: GridKey{k, s, pf}}
+	return e.trialFP(cfg.fingerprint(), cfg, k, s, pf)
+}
+
+// trialFP is Trial with the config fingerprint supplied by the caller,
+// so sweeps hash the config once instead of once per cell.
+func (e *Engine) trialFP(fp uint64, cfg Config, k workload.Kind, s core.Strategy, pf int) (*TrialResult, error) {
+	key := cacheKey{fp: fp, variant: variantGrid, GridKey: GridKey{k, s, pf}}
 	ent, owner := e.lookup(key)
 	if owner {
 		ent.tr, ent.err = RunTrial(cfg, k, s, pf)
@@ -192,7 +198,12 @@ func (e *Engine) HoldTrial(cfg Config, k workload.Kind, s core.Strategy) (*HoldR
 	if cfg.Sink != nil {
 		return RunHoldTrial(cfg, k, s)
 	}
-	key := cacheKey{fp: cfg.fingerprint(), variant: variantHold, GridKey: GridKey{k, s, 0}}
+	return e.holdFP(cfg.fingerprint(), cfg, k, s)
+}
+
+// holdFP is HoldTrial with a caller-supplied config fingerprint.
+func (e *Engine) holdFP(fp uint64, cfg Config, k workload.Kind, s core.Strategy) (*HoldResult, error) {
+	key := cacheKey{fp: fp, variant: variantHold, GridKey: GridKey{k, s, 0}}
 	ent, owner := e.lookup(key)
 	if owner {
 		ent.hold, ent.err = RunHoldTrial(cfg, k, s)
@@ -230,7 +241,11 @@ func (c Config) forParallel(workers int) Config {
 }
 
 // fanOut runs fn(i) for i in [0, n) on the engine's worker pool and
-// blocks until all complete.
+// blocks until all complete. Work is claimed in contiguous batches —
+// one shared-counter bump per batch instead of per item — so sweeps of
+// sub-millisecond memoized cells are not dominated by cross-core
+// contention on the dispatch counter. Batches stay small relative to
+// n/w to keep the tail balanced when cell costs are skewed.
 func (e *Engine) fanOut(n int, fn func(i int)) {
 	w := e.Workers()
 	if w > n {
@@ -242,6 +257,10 @@ func (e *Engine) fanOut(n int, fn func(i int)) {
 		}
 		return
 	}
+	batch := n / (4 * w)
+	if batch < 1 {
+		batch = 1
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -249,11 +268,17 @@ func (e *Engine) fanOut(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				lo := int(next.Add(int64(batch))) - batch
+				if lo >= n {
 					return
 				}
-				fn(i)
+				hi := lo + batch
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
 			}
 		}()
 	}
@@ -267,8 +292,20 @@ func (e *Engine) Trials(cfg Config, keys []GridKey) ([]*TrialResult, error) {
 	cfg = cfg.forParallel(e.Workers())
 	out := make([]*TrialResult, len(keys))
 	errs := make([]error, len(keys))
+	if cfg.Sink != nil {
+		e.fanOut(len(keys), func(i int) {
+			out[i], errs[i] = e.Trial(cfg, keys[i].Kind, keys[i].Strategy, keys[i].Prefetch)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	fp := cfg.fingerprint() // hashed once for the whole sweep
 	e.fanOut(len(keys), func(i int) {
-		out[i], errs[i] = e.Trial(cfg, keys[i].Kind, keys[i].Strategy, keys[i].Prefetch)
+		out[i], errs[i] = e.trialFP(fp, cfg, keys[i].Kind, keys[i].Strategy, keys[i].Prefetch)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -290,8 +327,20 @@ func (e *Engine) holdTrials(cfg Config, pairs []holdPair) ([]*HoldResult, error)
 	cfg = cfg.forParallel(e.Workers())
 	out := make([]*HoldResult, len(pairs))
 	errs := make([]error, len(pairs))
+	if cfg.Sink != nil {
+		e.fanOut(len(pairs), func(i int) {
+			out[i], errs[i] = e.HoldTrial(cfg, pairs[i].kind, pairs[i].strat)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	fp := cfg.fingerprint() // hashed once for the whole sweep
 	e.fanOut(len(pairs), func(i int) {
-		out[i], errs[i] = e.HoldTrial(cfg, pairs[i].kind, pairs[i].strat)
+		out[i], errs[i] = e.holdFP(fp, cfg, pairs[i].kind, pairs[i].strat)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -40,6 +40,11 @@ type ReadRequest struct {
 	SegID    uint64
 	PageIdx  uint64
 	Prefetch int // additional nearby pages the faulter will accept
+	// StreamTo, when nonzero, asks the backer to split its reply: the
+	// demanded page returns alone on ReplyTo (a one-page reply unstalls
+	// the faulter fastest), and the prefetch run follows as a separate
+	// background-priority reply to this port.
+	StreamTo uint64
 }
 
 // ReadRequestBytes is the encoded size of a ReadRequest body.
@@ -52,10 +57,68 @@ const ReadRequestBytes = 64
 type ReadReply struct {
 	SegID uint64
 	Runs  []vm.PageRun
+	// Streaming is the split-reply handshake flag. On a demand reply it
+	// tells the faulter the prefetch run follows as background replies
+	// on the request's StreamTo port; on the final background reply it
+	// tells the stream receiver the split is complete, closing out one
+	// outstanding-fetch slot.
+	Streaming bool
+	// StreamRuns names the pages in flight behind a Streaming demand
+	// reply (indices only, no data), so the faulter can park a demand
+	// fault on one of them until it lands instead of re-requesting it.
+	StreamRuns []vm.PageRun
 }
 
 // PageCount reports the number of pages the reply delivers.
 func (r *ReadReply) PageCount() int { return vm.RunPageCount(r.Runs) }
+
+// Split divides a multi-page reply into the demanded page (the first
+// page of the first run) and the prefetch remainder, for backers
+// answering a StreamTo request. The demand half is marked Streaming.
+// It returns a nil remainder when there is nothing to split.
+func (r *ReadReply) Split() (*ReadReply, *ReadReply) {
+	if r.PageCount() <= 1 || len(r.Runs) == 0 {
+		return r, nil
+	}
+	first := r.Runs[0]
+	ps := len(first.Data) / first.Count
+	demand := &ReadReply{
+		SegID:     r.SegID,
+		Runs:      []vm.PageRun{{Index: first.Index, Count: 1, Data: first.Data[:ps]}},
+		Streaming: true,
+	}
+	rest := &ReadReply{SegID: r.SegID}
+	if first.Count > 1 {
+		rest.Runs = append(rest.Runs, vm.PageRun{Index: first.Index + 1, Count: first.Count - 1, Data: first.Data[ps:]})
+	}
+	rest.Runs = append(rest.Runs, r.Runs[1:]...)
+	for _, run := range rest.Runs {
+		demand.StreamRuns = append(demand.StreamRuns, vm.PageRun{Index: run.Index, Count: run.Count})
+	}
+	return demand, rest
+}
+
+// PerPage explodes the reply into one-page replies. Stream remainders
+// travel this way: a single page plus headers still fits one link
+// fragment, so the wire cost matches the batched form, but a demand
+// reply queued behind the stream waits out at most one page instead of
+// the whole run. The last reply carries the Streaming completion flag.
+func (r *ReadReply) PerPage() []*ReadReply {
+	var out []*ReadReply
+	for _, run := range r.Runs {
+		ps := len(run.Data) / run.Count
+		for j := 0; j < run.Count; j++ {
+			out = append(out, &ReadReply{
+				SegID: r.SegID,
+				Runs:  []vm.PageRun{{Index: run.Index + uint64(j), Count: 1, Data: run.Page(j, ps)}},
+			})
+		}
+	}
+	if n := len(out); n > 0 {
+		out[n-1].Streaming = true
+	}
+	return out
+}
 
 // Bytes reports the encoded size of the reply body. Accounting stays
 // per-page — one 8-byte header per delivered page — matching the

@@ -144,6 +144,13 @@ type Message struct {
 	// FaultSupport marks traffic generated in support of imaginary
 	// fault activity, for the Figure 4-5 traffic split.
 	FaultSupport bool
+
+	// Background marks opportunistic traffic (streamed prefetch) that
+	// must yield the wire to demand traffic: a NetMsgServer drains its
+	// foreground backlog before forwarding any background message. A
+	// local scheduling hint, not part of the encoded frame — each hop
+	// that needs it sets it from the request body.
+	Background bool
 }
 
 // WireBytes reports the message's encoded size: header, body, and

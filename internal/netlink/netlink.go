@@ -129,6 +129,37 @@ func (l *Link) Transmit(p *sim.Proc, n int, fault bool) bool {
 	return true
 }
 
+// Rate reports the raw medium rate in bytes per second.
+func (l *Link) Rate() int { return l.cfg.BytesPerSecond }
+
+// Occupy holds the wire for d of transmission time: one pipelined
+// burst's aggregate occupancy, charged as a single hold so a window of
+// frames costs O(1) scheduler events instead of one acquire/release
+// per frame. Per-frame byte accounting and loss for the burst happen
+// in Judge.
+func (l *Link) Occupy(p *sim.Proc, d time.Duration) {
+	l.wire.Acquire(p)
+	p.Sleep(d)
+	l.wire.Release()
+}
+
+// Judge accounts one frame of a pipelined burst that finishes crossing
+// the wire at absolute time at, and reports whether it survives the
+// failure model. Bytes are charged either way — a dropped frame still
+// burned bandwidth. fault marks imaginary-fault support traffic.
+func (l *Link) Judge(at time.Duration, n int, fault bool) bool {
+	l.frames++
+	l.bytesMove += uint64(n)
+	if l.rec != nil {
+		l.rec.AddBytes(at, n, fault)
+	}
+	if l.inj.Drop(at) {
+		l.drops++
+		return false
+	}
+	return true
+}
+
 // Frames reports transmitted frame count (including dropped ones).
 func (l *Link) Frames() uint64 { return l.frames }
 

@@ -50,6 +50,14 @@ type Config struct {
 	// FragHeadroom is extra per-fragment capacity for protocol headers,
 	// so a one-page payload plus its headers still fits one fragment.
 	FragHeadroom int
+	// Window is how many fragments of a multi-fragment transfer may be
+	// in flight at once. 0 or 1 reproduces the Accent protocol's
+	// effective stop-and-wait behaviour (the paper-faithful default,
+	// byte-identical to the pre-window transport); larger values enable
+	// the pipelined sliding-window mode, where each burst of up to
+	// Window fragments overlaps sender CPU, wire, and receiver CPU and
+	// is confirmed by one cumulative + selective ack frame.
+	Window int
 
 	// Reliable-delivery parameters. They engage only on links that can
 	// drop frames (link.MayDrop()); on reliable links the transport
@@ -110,6 +118,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// FragUnit is the fragmentation unit: FragBytes of payload plus
+// FragHeadroom of protocol headers per fragment.
+func (c Config) FragUnit() int { return c.FragBytes + c.FragHeadroom }
+
+// FragsFor reports how many fragments a message of n wire bytes
+// occupies (always at least one). It delegates to wire.FragCount so
+// the transport's fragment math and the frame encoder share one unit
+// and cannot drift.
+func (c Config) FragsFor(n int) int {
+	return wire.FragCount(n, c.FragBytes, c.FragHeadroom)
+}
+
 // Stats counts server activity.
 type Stats struct {
 	Forwarded   uint64 // messages sent to peers
@@ -126,6 +146,10 @@ type Stats struct {
 	DeadPeers       uint64        // retransmit budgets exhausted
 	RetransmitBytes uint64        // wire bytes consumed by resends
 	BackoffTime     time.Duration // total virtual time spent waiting to resend
+
+	// Sliding-window transport counters (Window > 1 only).
+	Windowed     uint64 // multi-fragment messages sent through the windowed path
+	WindowRounds uint64 // in-flight bursts (window rounds) sent
 }
 
 // Server is one machine's NetMsgServer.
@@ -136,9 +160,14 @@ type Server struct {
 	sys  *ipc.System
 	cfg  Config
 
-	peers    map[string]*peerLink
-	routes   map[ipc.PortID]string // remote port → peer name
-	outbound *sim.Queue[*ipc.Message]
+	peers  map[string]*peerLink
+	routes map[ipc.PortID]string // remote port → peer name
+	// outbound is a token per routed message; fg and bg hold the
+	// messages themselves in two FIFO classes. The forwarder drains
+	// every foreground message before any background one, so streamed
+	// prefetch never head-of-line-blocks a demand fault reply.
+	outbound *sim.Queue[struct{}]
+	fg, bg   []*ipc.Message
 
 	store    *imag.Store
 	backPort *ipc.Port
@@ -150,6 +179,10 @@ type Server struct {
 type peerLink struct {
 	link *netlink.Link
 	peer *Server
+	// win holds the lazily spawned pipeline-stage helper processes for
+	// windowed transfers; nil until the first Window > 1 burst, so
+	// stop-and-wait runs schedule exactly the events they always did.
+	win *winHelpers
 }
 
 // New creates the server and installs it as the machine's IPC router.
@@ -163,7 +196,7 @@ func New(k *sim.Kernel, name string, cpu *sim.Resource, sys *ipc.System, cfg Con
 		cfg:      cfg.withDefaults(),
 		peers:    make(map[string]*peerLink),
 		routes:   make(map[ipc.PortID]string),
-		outbound: sim.NewQueue[*ipc.Message](k),
+		outbound: sim.NewQueue[struct{}](k),
 		store:    imag.NewStore(),
 	}
 	s.backPort = sys.AllocPort(name + ".netmsg.backer")
@@ -213,7 +246,12 @@ func (s *Server) route(m *ipc.Message) bool {
 	if _, ok := s.routes[m.To]; !ok {
 		return false
 	}
-	s.outbound.Push(m)
+	if m.Background {
+		s.bg = append(s.bg, m)
+	} else {
+		s.fg = append(s.fg, m)
+	}
+	s.outbound.Push(struct{}{})
 	return true
 }
 
@@ -223,7 +261,21 @@ func (s *Server) route(m *ipc.Message) bool {
 // many fragments in flight).
 func (s *Server) forwarder(p *sim.Proc) {
 	for {
-		m := s.outbound.Pop(p)
+		s.outbound.Pop(p)
+		var m *ipc.Message
+		if len(s.fg) > 0 {
+			m = s.fg[0]
+			s.fg = s.fg[1:]
+			if len(s.fg) == 0 {
+				s.fg = nil // let the drained backlog be collected
+			}
+		} else {
+			m = s.bg[0]
+			s.bg = s.bg[1:]
+			if len(s.bg) == 0 {
+				s.bg = nil
+			}
+		}
 		peerName := s.routes[m.To]
 		pl, ok := s.peers[peerName]
 		if !ok {
@@ -274,11 +326,8 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 	}
 
 	bytes := m.WireBytes()
-	unit := s.cfg.FragBytes + s.cfg.FragHeadroom
-	frags := (bytes + unit - 1) / unit
-	if frags < 1 {
-		frags = 1
-	}
+	unit := s.cfg.FragUnit()
+	frags := s.cfg.FragsFor(bytes)
 	var handling time.Duration
 
 	if frags == 1 {
@@ -307,6 +356,13 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 			pl.link.Transmit(p, bytes+s.cfg.FrameOverhead, m.FaultSupport)
 			pl.peer.cpu.UseHigh(p, perSide)
 			handling += perSide
+		}
+	} else if s.cfg.Window > 1 {
+		// Pipelined sliding-window transfer (see window.go): bursts of
+		// up to Window fragments in flight, cumulative + selective acks,
+		// same dead-peer semantics as stop-and-wait.
+		if !s.forwardWindowed(p, m, pl, bytes, frags, &handling) {
+			return
 		}
 	} else {
 		// Multi-fragment transfer: stop-and-wait per-fragment ARQ makes
@@ -567,7 +623,40 @@ func (s *Server) backer(p *sim.Proc) {
 					Op:      imag.OpReadReply,
 				})
 			}
-			s.reply(p, m, imag.OpReadReply, rep)
+			if req.StreamTo != 0 {
+				// The stream port lives wherever the reply port does;
+				// routes are otherwise only learned from ReplyTo.
+				if peer, ok := s.routes[m.ReplyTo]; ok {
+					s.routes[ipc.PortID(req.StreamTo)] = peer
+				}
+				// Split reply: the demanded page returns alone at
+				// demand priority — a one-page reply unstalls the
+				// faulter fastest — and the prefetch run follows at
+				// background priority, yielding the wire to any demand
+				// traffic that arrives meanwhile.
+				demand, rest := rep.Split()
+				s.reply(p, m, imag.OpReadReply, demand, false)
+				if rest != nil {
+					// One page per reply: same wire cost as the batched
+					// run, but a demand reply that arrives meanwhile
+					// overtakes the stream after at most one page.
+					for _, pr := range rest.PerPage() {
+						if err := s.sys.Send(p, &ipc.Message{
+							Op:           imag.OpReadReply,
+							To:           ipc.PortID(req.StreamTo),
+							Body:         pr,
+							BodyBytes:    pr.Bytes(),
+							FaultSupport: true,
+							Background:   true,
+						}); err != nil {
+							s.stats.DeadLetters++
+							break
+						}
+					}
+				}
+				continue
+			}
+			s.reply(p, m, imag.OpReadReply, rep, false)
 		case imag.OpFlush:
 			req, ok := m.Body.(*imag.FlushRequest)
 			if !ok {
@@ -579,7 +668,7 @@ func (s *Server) backer(p *sim.Proc) {
 			}
 			rep := seg.Flush(req.MaxPages)
 			s.cpu.UseHigh(p, s.cfg.ServeCPU)
-			s.reply(p, m, imag.OpFlushReply, rep)
+			s.reply(p, m, imag.OpFlushReply, rep, false)
 		case imag.OpSegmentDeath:
 			if d, ok := m.Body.(*imag.SegmentDeath); ok {
 				s.store.Drop(d.SegID)
@@ -605,7 +694,7 @@ func (s *Server) replyErr(p *sim.Proc, req *ipc.Message, e *imag.ReadError) {
 	}
 }
 
-func (s *Server) reply(p *sim.Proc, req *ipc.Message, op int, rep *imag.ReadReply) {
+func (s *Server) reply(p *sim.Proc, req *ipc.Message, op int, rep *imag.ReadReply, background bool) {
 	if req.ReplyTo == 0 {
 		return
 	}
@@ -615,6 +704,7 @@ func (s *Server) reply(p *sim.Proc, req *ipc.Message, op int, rep *imag.ReadRepl
 		Body:         rep,
 		BodyBytes:    rep.Bytes(),
 		FaultSupport: true,
+		Background:   background,
 	})
 	if err != nil {
 		s.stats.DeadLetters++

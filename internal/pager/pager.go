@@ -73,6 +73,18 @@ type Config struct {
 	// Orphan selects the fate of faults whose backer is unreachable or
 	// definitively gone. Default OrphanFail.
 	Orphan OrphanPolicy
+	// Outstanding is how many imaginary fetches the pager may keep in
+	// flight at once (windowed IOU streaming). At the default (0 or 1)
+	// an imaginary fault synchronously requests the demand page plus
+	// its whole prefetch run in one reply, exactly as before. With
+	// K > 1 and prefetch enabled, faults ask the backer to split its
+	// reply: the demanded page returns alone — the faulting process
+	// unblocks as soon as that one-page reply lands — and the prefetch
+	// run follows as a background-priority reply that overlaps the
+	// process's compute and yields the wire to demand traffic. Up to K
+	// such background runs may be in flight before faults fall back to
+	// the synchronous path.
+	Outstanding int
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +117,8 @@ type Stats struct {
 
 	PrefetchedPages uint64 // extra pages that arrived with fault replies
 	PrefetchHits    uint64 // prefetched pages later touched
+	StreamedPages   uint64 // prefetch replies that arrived as background stream messages
+	StreamWaits     uint64 // faults parked on an in-flight streamed page
 }
 
 // HitRatio reports the fraction of prefetched pages that were
@@ -133,6 +147,21 @@ type Pager struct {
 	// prefetched tracks pages that arrived unrequested and have not
 	// been touched yet, for hit-ratio accounting.
 	prefetched map[pageKey]bool
+
+	// Windowed IOU streaming state (Outstanding > 1 only); nil until
+	// the first streamed fault so default runs schedule exactly the
+	// processes they always did. streamPort receives the background
+	// prefetch halves of split fault replies; streamSegs resolves their
+	// SegID back to a segment; streamInFlight soft-caps concurrent
+	// split replies at cfg.Outstanding. streamPending marks pages a
+	// split reply has promised but not yet delivered (from the demand
+	// half's StreamRuns), so a demand fault on one parks on a waiter
+	// queue instead of buying a duplicate round trip.
+	streamPort     *ipc.Port
+	streamSegs     map[uint64]*vm.Segment
+	streamInFlight int
+	streamPending  map[pageKey]bool
+	streamWaiters  map[pageKey][]*sim.Queue[struct{}]
 }
 
 type pageKey struct {
@@ -160,6 +189,15 @@ func (pg *Pager) SetPrefetch(n int) { pg.prefetch = n }
 
 // Prefetch reports the current prefetch amount.
 func (pg *Pager) Prefetch() int { return pg.prefetch }
+
+// Outstanding reports the configured imaginary-fetch concurrency,
+// never less than one.
+func (pg *Pager) Outstanding() int {
+	if pg.cfg.Outstanding < 1 {
+		return 1
+	}
+	return pg.cfg.Outstanding
+}
 
 // SetRecorder directs counters to rec (may be nil).
 func (pg *Pager) SetRecorder(rec *metrics.Recorder) { pg.rec = rec }
@@ -337,11 +375,50 @@ func (pg *Pager) insert(seg *vm.Segment, idx uint64) {
 // to the backing port, a wait for the reply, and map-in of the demand
 // page plus any prefetched neighbours.
 func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
-	pg.cpu.UseHigh(p, pg.cfg.FaultCPU+pg.cfg.ImagCPU)
 	pg.stats.ImagFaults++
 	pg.inc("fault.imag")
+	if pg.streamPending[pageKey{pl.Seg.ID, pl.PageIdx}] {
+		// The page is already on the wire inside an in-flight split
+		// reply: park until the stream delivers it. The residual wait is
+		// a fraction of a full request round trip, and skipping the
+		// duplicate request keeps the wire clear for the stream itself.
+		pg.cpu.UseHigh(p, pg.cfg.FaultCPU)
+		pg.stats.StreamWaits++
+		pg.inc("fault.streamwait")
+		q := sim.NewQueue[struct{}](pg.k)
+		key := pageKey{pl.Seg.ID, pl.PageIdx}
+		pg.streamWaiters[key] = append(pg.streamWaiters[key], q)
+		// Bound the park even on a reliable link: a background reply has
+		// no retransmit path of its own, so a lost stream must degrade
+		// into an ordinary (fully retried) request, not a hang.
+		timeout := pg.cfg.RetryTimeout
+		if timeout <= 0 {
+			timeout = 2 * time.Second
+		}
+		q.PopTimeout(p, timeout)
+		if pl.Seg.Page(pl.PageIdx) != nil {
+			pg.cpu.UseHigh(p, pg.cfg.MapInCPU)
+			pg.insert(pl.Seg, pl.PageIdx)
+			return nil
+		}
+		// The stream never delivered; fall through to a full request.
+		pg.cpu.UseHigh(p, pg.cfg.ImagCPU)
+	} else {
+		pg.cpu.UseHigh(p, pg.cfg.FaultCPU+pg.cfg.ImagCPU)
+	}
 
+	// Windowed streaming: ask the backer to split its reply — the
+	// demanded page returns alone (a one-page reply unstalls this
+	// process fastest) and the prefetch run follows as a separate
+	// background reply into streamPort, overlapping this process's
+	// compute instead of stretching its stall.
+	stream := pg.cfg.Outstanding > 1 && pg.prefetch > 0 && pg.streamInFlight < pg.cfg.Outstanding
 	req := &imag.ReadRequest{SegID: pl.Seg.ID, PageIdx: pl.PageIdx, Prefetch: pg.prefetch}
+	if stream {
+		pg.ensureStreamRecv()
+		pg.streamSegs[pl.Seg.ID] = pl.Seg
+		req.StreamTo = uint64(pg.streamPort.ID)
+	}
 	reply := pg.sys.AllocPort("imag-reply")
 	defer pg.sys.RemovePort(reply)
 
@@ -421,7 +498,71 @@ func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
 			first = false
 		}
 	}
+	if body.Streaming {
+		pg.streamInFlight++
+		for _, run := range body.StreamRuns {
+			for j := 0; j < run.Count; j++ {
+				pg.streamPending[pageKey{pl.Seg.ID, run.Index + uint64(j)}] = true
+			}
+		}
+	}
 	return nil
+}
+
+// ensureStreamRecv lazily allocates the stream port and spawns the
+// receiver that materializes background prefetch halves of split fault
+// replies. Failures are silent by design: streaming is opportunistic,
+// and any page it fails to deliver simply faults on demand later
+// through the fully error-handled imagFault path.
+func (pg *Pager) ensureStreamRecv() {
+	if pg.streamPort != nil {
+		return
+	}
+	pg.streamPort = pg.sys.AllocPort(pg.name + ".pager.stream")
+	pg.streamSegs = make(map[uint64]*vm.Segment)
+	pg.streamPending = make(map[pageKey]bool)
+	pg.streamWaiters = make(map[pageKey][]*sim.Queue[struct{}])
+	pg.k.Go(pg.name+".pager.stream", func(p *sim.Proc) {
+		for {
+			m := pg.sys.Receive(p, pg.streamPort)
+			body, ok := m.Body.(*imag.ReadReply)
+			if m.Op != imag.OpReadReply || !ok {
+				continue
+			}
+			if body.Streaming {
+				// Final reply of a split: one outstanding slot frees.
+				pg.streamInFlight--
+			}
+			seg, ok := pg.streamSegs[body.SegID]
+			if !ok {
+				continue
+			}
+			pg.stats.StreamedPages++
+			pg.inc("prefetch.stream")
+			ps := seg.PageSize()
+			for _, run := range body.Runs {
+				for j := 0; j < run.Count; j++ {
+					idx := run.Index + uint64(j)
+					key := pageKey{seg.ID, idx}
+					if seg.Page(idx) == nil {
+						seg.Materialize(idx, run.Page(j, ps))
+						// Mapping in opportunistic pages yields the CPU
+						// to fault handling.
+						pg.cpu.Use(p, pg.cfg.MapInCPU)
+						pg.insert(seg, idx)
+						pg.stats.PrefetchedPages++
+						pg.prefetched[key] = true
+						pg.inc("prefetch.page")
+					}
+					delete(pg.streamPending, key)
+					for _, q := range pg.streamWaiters[key] {
+						q.Push(struct{}{})
+					}
+					delete(pg.streamWaiters, key)
+				}
+			}
+		}
+	})
 }
 
 // orphan applies the configured policy to a fault whose backer can

@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"testing"
+
+	"accentmig/internal/imag"
+	"accentmig/internal/ipc"
+	"accentmig/internal/vm"
+)
+
+func TestFragCountUnit(t *testing.T) {
+	const fragBytes, headroom = 512, 128
+	unit := fragBytes + headroom
+	cases := []struct{ n, want int }{
+		{0, 1}, // even an empty frame occupies one fragment
+		{1, 1},
+		{unit, 1},
+		{unit + 1, 2},
+		{2 * unit, 2},
+		{10*unit + unit/2, 11},
+	}
+	for _, c := range cases {
+		if got := FragCount(c.n, fragBytes, headroom); got != c.want {
+			t.Errorf("FragCount(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// A degenerate unit must not divide by zero.
+	if got := FragCount(100, 0, 0); got != 1 {
+		t.Errorf("FragCount with zero unit = %d, want 1", got)
+	}
+}
+
+// TestFragCountStableAcrossRoundTrip: a fault-support reply (the
+// data-plane message of copy-on-reference) must encode to the same
+// frame length — hence the same fragment count — after crossing the
+// wire, so every hop fragments it identically.
+func TestFragCountStableAcrossRoundTrip(t *testing.T) {
+	const fragBytes, headroom = 512, 128
+	for _, pages := range []int{1, 3, 16, 64} {
+		rep := &imag.ReadReply{}
+		rep.Runs = []vm.PageRun{{Index: 4, Count: pages, Data: make([]byte, pages*512)}}
+		m := &ipc.Message{
+			Op:           imag.OpReadReply,
+			To:           7,
+			Body:         rep,
+			BodyBytes:    rep.Bytes(),
+			FaultSupport: true,
+		}
+		frame, extras, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode %d pages: %v", pages, err)
+		}
+		dec, err := DecodeMessage(frame, extras)
+		if err != nil {
+			t.Fatalf("decode %d pages: %v", pages, err)
+		}
+		frame2, _, err := EncodeMessage(dec)
+		if err != nil {
+			t.Fatalf("re-encode %d pages: %v", pages, err)
+		}
+		a := FragCount(len(frame), fragBytes, headroom)
+		b := FragCount(len(frame2), fragBytes, headroom)
+		if len(frame) != len(frame2) || a != b {
+			t.Errorf("%d pages: frame %d B (%d frags) re-encoded to %d B (%d frags)",
+				pages, len(frame), a, len(frame2), b)
+		}
+	}
+}

@@ -235,6 +235,24 @@ func FrameBytes(m *ipc.Message) (int, error) {
 	return len(frame), nil
 }
 
+// FragCount reports how many link-level fragments a frame of n bytes
+// occupies (always at least one), given the transport's per-fragment
+// payload capacity fragBytes plus headroom bytes reserved for protocol
+// headers. This is the single fragmentation unit — fragBytes +
+// headroom — shared by the netmsg fragment math and the frame
+// encoder's tests, so the two accountings cannot drift.
+func FragCount(n, fragBytes, headroom int) int {
+	unit := fragBytes + headroom
+	if unit <= 0 {
+		return 1
+	}
+	frags := (n + unit - 1) / unit
+	if frags < 1 {
+		frags = 1
+	}
+	return frags
+}
+
 // --- built-in codecs for the copy-on-reference protocol ---
 
 func init() {
@@ -248,6 +266,7 @@ func init() {
 			w.u64(rq.SegID)
 			w.u64(rq.PageIdx)
 			w.i64(int64(rq.Prefetch))
+			w.u64(rq.StreamTo)
 			return w.b, nil, nil
 		},
 		Decode: func(b []byte, _ []any) (any, error) {
@@ -256,6 +275,7 @@ func init() {
 				SegID:    r.u64(),
 				PageIdx:  r.u64(),
 				Prefetch: int(r.i64()),
+				StreamTo: r.u64(),
 			}, nil
 		},
 	})
@@ -267,22 +287,36 @@ func init() {
 			}
 			w := &buf{}
 			w.u64(rp.SegID)
+			w.bool(rp.Streaming)
 			w.u32(uint32(len(rp.Runs)))
 			for _, run := range rp.Runs {
 				w.u64(run.Index)
 				w.u32(uint32(run.Count))
 				w.bytes(run.Data)
 			}
+			// StreamRuns are index/count pairs only — the promised pages'
+			// data travels in the background replies that follow.
+			w.u32(uint32(len(rp.StreamRuns)))
+			for _, run := range rp.StreamRuns {
+				w.u64(run.Index)
+				w.u32(uint32(run.Count))
+			}
 			return w.b, nil, nil
 		},
 		Decode: func(b []byte, _ []any) (any, error) {
 			r := &rdr{b: b}
-			rp := &imag.ReadReply{SegID: r.u64()}
+			rp := &imag.ReadReply{SegID: r.u64(), Streaming: r.bool()}
 			n := int(r.u32())
 			for i := 0; i < n; i++ {
 				idx := r.u64()
 				count := int(r.u32())
 				rp.Runs = append(rp.Runs, vm.PageRun{Index: idx, Count: count, Data: r.bytes()})
+			}
+			n = int(r.u32())
+			for i := 0; i < n; i++ {
+				idx := r.u64()
+				count := int(r.u32())
+				rp.StreamRuns = append(rp.StreamRuns, vm.PageRun{Index: idx, Count: count})
 			}
 			return rp, nil
 		},
