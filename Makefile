@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke identity report bench clean
+.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke profsmoke identity report bench clean
 
 all: build
 
@@ -16,7 +16,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race faultcheck benchsmoke pipelinesmoke identity
+check: build vet test race faultcheck benchsmoke pipelinesmoke profsmoke identity
 
 # Fault-injection determinism gate: the resilience experiment — lossy
 # sweeps, crashes, a partition — must be byte-identical across two
@@ -35,6 +35,15 @@ benchsmoke:
 	$(GO) test -count=1 -run 'TestAllocs' -v ./internal/vm/ | grep -v '^=== RUN'
 	$(GO) test -count=1 -run xxx -bench . -benchtime 100x ./internal/vmbench/
 	@echo "benchsmoke: zero-alloc gates hold"
+
+# Profiler smoke gate: one traced migration must rebuild into a
+# connected critical-path DAG with positive downtime and per-resource
+# blame fractions that sum to 1, and an unprofiled run must stay at
+# zero profiler allocations.
+profsmoke:
+	$(GO) test -count=1 -run 'TestProfSmoke' -v ./internal/prof/ | grep -v '^=== RUN'
+	$(GO) test -count=1 -run 'TestAllocsProfileOff' -v ./internal/sim/ | grep -v '^=== RUN'
+	@echo "profsmoke: critical path connected, downtime > 0, blame sums to 1"
 
 # Pipelined-transport smoke: the window/streaming sweep must run end to
 # end on a two-workload subset (exercises the windowed wire, split-reply

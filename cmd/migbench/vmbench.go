@@ -19,9 +19,14 @@ type VMBench struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// VMReport is the whole BENCH_vm.json payload.
+// VMReport is the whole BENCH_vm.json payload. The host-environment
+// header (gomaxprocs/cpus/go/window) is shared with BENCH_grid.json
+// and BENCH_wire.json so the three files join on it.
 type VMReport struct {
 	GOMAXPROCS int       `json:"gomaxprocs"`
+	CPUs       int       `json:"cpus"`
+	Go         string    `json:"go"`
+	Window     int       `json:"window"`
 	Benchmarks []VMBench `json:"benchmarks"`
 }
 
@@ -40,7 +45,12 @@ var vmBenchmarks = []struct {
 // runVMBenchmarks measures the VM-layer microbenchmarks through
 // testing.Benchmark and writes the report to path.
 func runVMBenchmarks(path string) error {
-	rep := VMReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := VMReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+		Go:         runtime.Version(),
+		Window:     1, // VM microbenchmarks never touch the transport
+	}
 	for _, bm := range vmBenchmarks {
 		r := testing.Benchmark(bm.fn)
 		rep.Benchmarks = append(rep.Benchmarks, VMBench{

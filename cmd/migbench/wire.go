@@ -32,8 +32,15 @@ type WireRow struct {
 
 // WireReport is the transport benchmark: the same 1 MB pure-copy
 // migration at each send-window setting. W=1 is the stop-and-wait
-// baseline; the speedup field is the W=16 acceptance headline.
+// baseline; the speedup field is the W=16 acceptance headline. The
+// host-environment header (gomaxprocs/cpus/go/window) is shared with
+// BENCH_grid.json and BENCH_vm.json so the three files join on it;
+// window here is the baseline setting, each row carries its own.
 type WireReport struct {
+	GOMAXPROCS    int       `json:"gomaxprocs"`
+	CPUs          int       `json:"cpus"`
+	Go            string    `json:"go"`
+	Window        int       `json:"window"`
 	TransferBytes uint64    `json:"transfer_bytes"`
 	W16SimSpeedup float64   `json:"w16_sim_speedup"`
 	Rows          []WireRow `json:"rows"`
@@ -97,7 +104,13 @@ func runWireOnce(window int) (WireRow, error) {
 // runWireBenchmarks sweeps the send window over the 1 MB transfer and
 // writes the report to path.
 func runWireBenchmarks(path string) error {
-	report := WireReport{TransferBytes: wirePages * 512}
+	report := WireReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		CPUs:          runtime.NumCPU(),
+		Go:            runtime.Version(),
+		Window:        1,
+		TransferBytes: wirePages * 512,
+	}
 	var m0, m1 runtime.MemStats
 	for _, w := range []int{1, 4, 16, 64} {
 		runtime.GC()

@@ -46,9 +46,9 @@ var experimentOrder = []string{
 
 // extraExperiments run only when named explicitly. The pipeline sweep
 // flips the transport out of its paper-faithful stop-and-wait default,
-// so it stays out of -exp all to keep that output byte-identical
-// across releases.
-var extraExperiments = []string{"pipeline"}
+// and the bottleneck sweep re-runs every cell traced, so both stay out
+// of -exp all to keep that output byte-identical across releases.
+var extraExperiments = []string{"pipeline", "bottleneck"}
 
 var tunables struct {
 	physFrames int
@@ -86,6 +86,7 @@ func main() {
 	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
 	seed := flag.Uint64("seed", 0, "base seed perturbing all random streams (0 = calibrated defaults)")
 	parallel := flag.Int("parallel", 0, "trial worker-pool width (0 = GOMAXPROCS; 1 = sequential)")
+	profile := flag.Bool("profile", false, "profile one traced migration per workload x strategy (critical path, blame, downtime) instead of running -exp")
 	flag.Parse()
 
 	experiments.SetWorkers(*parallel)
@@ -121,6 +122,13 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat))
 		}
+	}
+
+	if *profile {
+		if err := runProfile(kinds); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	ids := []string{*exp}
@@ -198,7 +206,9 @@ func faultPlan() (*faults.Plan, error) {
 	return plan, nil
 }
 
-func run(id string, kinds []workload.Kind) error {
+// baseConfig compiles the tunable flags into the experiment config
+// shared by every mode.
+func baseConfig() (experiments.Config, error) {
 	cfg := experiments.Config{}
 	cfg.Machine.PhysFrames = tunables.physFrames
 	cfg.Link.BytesPerSecond = tunables.bandwidth
@@ -210,7 +220,7 @@ func run(id string, kinds []workload.Kind) error {
 	}
 	plan, err := faultPlan()
 	if err != nil {
-		return err
+		return cfg, err
 	}
 	cfg.Faults = plan
 	if tunables.maxRetries >= 0 {
@@ -219,6 +229,32 @@ func run(id string, kinds []workload.Kind) error {
 			Degrade:    true,
 			AckTimeout: 15 * time.Minute,
 		}
+	}
+	return cfg, nil
+}
+
+// runProfile is the -profile mode: one flight-recorded migration per
+// workload × strategy, rebuilt by the causal profiler into critical
+// path, blame partition, and downtime.
+func runProfile(kinds []workload.Kind) error {
+	cfg, err := baseConfig()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.Bottleneck(cfg, kinds)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("=== %s under %s ===\n%s\n", r.Kind, r.Strategy, r.Profile.Format())
+	}
+	return nil
+}
+
+func run(id string, kinds []workload.Kind) error {
+	cfg, err := baseConfig()
+	if err != nil {
+		return err
 	}
 	if tunables.sink != nil {
 		// Namespace every trial's machines by experiment, so one trace
@@ -346,6 +382,12 @@ func run(id string, kinds []workload.Kind) error {
 			return err
 		}
 		fmt.Println(experiments.FormatPipeline(t))
+	case "bottleneck":
+		rows, err := experiments.Bottleneck(cfg, kinds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatBottleneck(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

@@ -349,6 +349,12 @@ func (mgr *Manager) migrateOnce(p *sim.Proc, procName string, destPort ipc.PortI
 		pr.AtMigrate.Wait(p)
 	}
 	startAt := p.Now()
+	if rec := mgr.M.Recorder(); rec != nil {
+		// Downtime opens here: the process executes no further
+		// instruction until it resumes at the destination (or rolls
+		// back). machine.exec closes the span.
+		rec.MarkFreeze(startAt)
+	}
 
 	mgr.hook(p, "excise")
 	ctx, err := ExciseProcess(p, mgr.M, pr, strat, opts.Prefetch, mgr.Tun)

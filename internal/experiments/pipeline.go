@@ -34,10 +34,12 @@ type PipelineRow struct {
 	Strategy core.Strategy
 	// Xfer is the RIMAS transfer time (the paper's migration-time
 	// metric), EndToEnd adds remote execution, MsgTime is total
-	// message-handling time across both machines.
+	// message-handling time across both machines, Down the process
+	// downtime (freeze to first destination instruction).
 	Xfer     time.Duration
 	EndToEnd time.Duration
 	MsgTime  time.Duration
+	Down     time.Duration
 }
 
 // StallRow is one cell of the IOU fault-stall sweep: pure-IOU remote
@@ -126,6 +128,7 @@ func (e *Engine) Pipeline(cfg Config, kinds []workload.Kind) (*PipelineTable, er
 			Xfer:     tr.Report.RIMASTransfer,
 			EndToEnd: tr.EndToEnd,
 			MsgTime:  tr.MsgTime,
+			Down:     tr.Downtime,
 		})
 	}
 	for i, c := range cells[stallBase:] {
@@ -185,7 +188,7 @@ func FormatPipeline(t *PipelineTable) string {
 		fmt.Fprintf(&b, "\n%s\n", kind)
 		fmt.Fprintf(&b, "%6s", "W")
 		for _, s := range pipelineStrategies {
-			fmt.Fprintf(&b, " %12s %8s", s, "speedup")
+			fmt.Fprintf(&b, " %12s %8s %8s", s, "speedup", "down")
 		}
 		fmt.Fprintf(&b, "\n")
 		for _, w := range PipelineWindows {
@@ -200,14 +203,14 @@ func FormatPipeline(t *PipelineTable) string {
 					}
 				}
 				if row == nil {
-					fmt.Fprintf(&b, " %12s %8s", "-", "-")
+					fmt.Fprintf(&b, " %12s %8s %8s", "-", "-", "-")
 					continue
 				}
 				speed := "-"
 				if bx := base[kind][s]; bx > 0 && row.Xfer > 0 {
 					speed = fmt.Sprintf("%.2fx", float64(bx)/float64(row.Xfer))
 				}
-				fmt.Fprintf(&b, " %12s %8s", row.Xfer.Round(time.Millisecond), speed)
+				fmt.Fprintf(&b, " %12s %8s %7.1fs", row.Xfer.Round(time.Millisecond), speed, row.Down.Seconds())
 			}
 			fmt.Fprintf(&b, "\n")
 		}

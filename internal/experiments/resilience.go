@@ -59,6 +59,12 @@ type ResilienceOutcome struct {
 	// final failure when the program never completed).
 	TotalTime time.Duration
 
+	// Downtime is the frozen interval of the final attempt: freeze to
+	// the first instruction executed afterwards — at the destination on
+	// success, back at the source after a rollback. Zero if the process
+	// never ran again.
+	Downtime time.Duration
+
 	// Reliable-transport overhead, summed over both machines.
 	Retransmits     uint64
 	RetransmitBytes uint64
@@ -163,6 +169,7 @@ func RunResilienceTrial(cfg Config, k workload.Kind, strat core.Strategy, ropts 
 	out.BackoffTime = srcStats.BackoffTime + dstStats.BackoffTime
 	out.DeadPeers = srcStats.DeadPeers + dstStats.DeadPeers
 	out.ZeroFills = tb.Src.Pager.Stats().ZeroFills + tb.Dst.Pager.Stats().ZeroFills
+	out.Downtime = tb.Rec.Downtime()
 	return out, nil
 }
 
@@ -355,9 +362,9 @@ func FormatResilience(t *ResilienceTable) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Resilience under injected faults (%s, %d seeds per cell)\n\n",
 		t.Kind, len(resilienceSeeds))
-	fmt.Fprintf(&b, "%-10s %6s %9s %9s %9s %8s %9s %10s %12s\n",
+	fmt.Fprintf(&b, "%-10s %6s %9s %9s %9s %8s %9s %9s %10s %12s\n",
 		"Strategy", "Drop", "Migrated", "Complete", "Attempts", "Inflate",
-		"Retrans", "Backoff", "RetransKB")
+		"Downtime", "Retrans", "Backoff", "RetransKB")
 
 	baseline := map[core.Strategy]time.Duration{}
 	for _, r := range t.Sweep {
@@ -367,22 +374,24 @@ func FormatResilience(t *ResilienceTable) string {
 	}
 	for _, r := range t.Sweep {
 		var retrans, rbytes uint64
-		var backoff time.Duration
+		var backoff, down time.Duration
 		attempts := 0
 		for _, o := range r.Outcomes {
 			retrans += o.Retransmits
 			rbytes += o.RetransmitBytes
 			backoff += o.BackoffTime
 			attempts += o.Attempts
+			down += o.Downtime
 		}
 		n := len(r.Outcomes)
 		inflate := "-"
 		if base := baseline[r.Strategy]; base > 0 && r.meanCompleted() > 0 {
 			inflate = fmt.Sprintf("%.2fx", float64(r.meanCompleted())/float64(base))
 		}
-		fmt.Fprintf(&b, "%-10s %5.0f%% %6d/%-2d %6d/%-2d %9.1f %8s %9d %10s %12.1f\n",
+		fmt.Fprintf(&b, "%-10s %5.0f%% %6d/%-2d %6d/%-2d %9.1f %8s %8.1fs %9d %10s %12.1f\n",
 			r.Strategy, 100*r.DropProb, r.Migrated(), n, r.Succeeded(), n,
 			float64(attempts)/float64(n), inflate,
+			(down / time.Duration(n)).Seconds(),
 			retrans, (backoff / time.Duration(n)).Round(time.Millisecond),
 			float64(rbytes)/1024/float64(n))
 	}

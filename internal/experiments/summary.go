@@ -32,6 +32,12 @@ type Summary struct {
 	// pure-IOU trial (the fault-heaviest cell of the grid), from the
 	// recorder's log-bucketed histogram.
 	FaultP50, FaultP95, FaultP99 time.Duration
+
+	// Process downtime for Lisp-Del under each strategy: excise-freeze
+	// to the first post-insert instruction. The lazy strategies' whole
+	// case is that this number barely moves while transfer time
+	// collapses.
+	DownIOU, DownRS, DownCopy time.Duration
 }
 
 // Summarize computes the summary from a full grid (it must include
@@ -65,6 +71,10 @@ func Summarize(cfg Config, g *Grid, kinds []workload.Kind) (*Summary, error) {
 	if cp, iou := g.Cell(workload.LispDel, core.PureCopy, 0), g.Cell(workload.LispDel, core.PureIOU, 0); cp != nil && iou != nil {
 		s.PeakRateReductionPct = 100 * (1 - float64(iou.PeakRate)/float64(cp.PeakRate))
 		s.FaultP50, s.FaultP95, s.FaultP99 = iou.FaultP50, iou.FaultP95, iou.FaultP99
+		s.DownIOU, s.DownCopy = iou.Downtime, cp.Downtime
+	}
+	if rs := g.Cell(workload.LispDel, core.ResidentSet, 0); rs != nil {
+		s.DownRS = rs.Downtime
 	}
 	return s, nil
 }
@@ -125,5 +135,7 @@ func FormatSummary(s *Summary) string {
 	fmt.Fprintf(&b, "  peak-rate reduction (Lisp-Del):     %5.1f%%  (paper: up to 66%%)\n", s.PeakRateReductionPct)
 	fmt.Fprintf(&b, "  remote fault latency p50/p95/p99:   %.1f / %.1f / %.1f ms (Lisp-Del IOU)\n",
 		s.FaultP50.Seconds()*1000, s.FaultP95.Seconds()*1000, s.FaultP99.Seconds()*1000)
+	fmt.Fprintf(&b, "  downtime IOU/RS/copy (Lisp-Del):    %.2f / %.2f / %.2f s\n",
+		s.DownIOU.Seconds(), s.DownRS.Seconds(), s.DownCopy.Seconds())
 	return b.String()
 }

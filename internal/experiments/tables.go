@@ -154,13 +154,17 @@ func FormatTable43(rows []Row43) string {
 }
 
 // Row44 is one Table 4-4 row: excision timing breakdown, plus the
-// §4.3.1 insertion time.
+// §4.3.1 insertion time and the resulting process downtime.
 type Row44 struct {
 	Kind    workload.Kind
 	AMap    time.Duration
 	RIMAS   time.Duration
 	Overall time.Duration
 	Insert  time.Duration
+	// Down is the measured downtime of a full (unheld) pure-copy
+	// migration: excise-freeze to the first instruction executed at the
+	// destination.
+	Down time.Duration
 }
 
 // Table44 excises each representative (the breakdown is strategy-
@@ -177,6 +181,16 @@ func Table44(cfg Config) ([]Row44, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Downtime needs a destination that actually resumes, so it comes
+	// from the full pure-copy grid cells (shared with the figures).
+	keys := make([]GridKey, len(kinds))
+	for i, k := range kinds {
+		keys[i] = GridKey{k, core.PureCopy, 0}
+	}
+	trs, err := Default.Trials(cfg, keys)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row44
 	for i, k := range kinds {
 		rep := hrs[i].Report
@@ -186,6 +200,7 @@ func Table44(cfg Config) ([]Row44, error) {
 			RIMAS:   rep.Excise.RIMAS,
 			Overall: rep.Excise.Overall,
 			Insert:  rep.Insert.Overall,
+			Down:    trs[i].Downtime,
 		})
 	}
 	return rows, nil
@@ -195,11 +210,11 @@ func Table44(cfg Config) ([]Row44, error) {
 // §4.3.1 appended).
 func FormatTable44(rows []Row44) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Table 4-4: Process Excision Times in Seconds (+ §4.3.1 insertion)\n")
-	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s\n", "", "AMap", "RIMAS", "Overall", "Insert")
+	fmt.Fprintf(&b, "Table 4-4: Process Excision Times in Seconds (+ §4.3.1 insertion, downtime)\n")
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %8s\n", "", "AMap", "RIMAS", "Overall", "Insert", "Down")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.2f %8.2f\n",
-			r.Kind, r.AMap.Seconds(), r.RIMAS.Seconds(), r.Overall.Seconds(), r.Insert.Seconds())
+		fmt.Fprintf(&b, "%-10s %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			r.Kind, r.AMap.Seconds(), r.RIMAS.Seconds(), r.Overall.Seconds(), r.Insert.Seconds(), r.Down.Seconds())
 	}
 	return b.String()
 }

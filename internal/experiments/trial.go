@@ -215,6 +215,10 @@ type TrialResult struct {
 	// xfer.rimas, insert) the source manager recorded, sorted by start.
 	Phases []metrics.Phase
 
+	// Downtime is the frozen interval: excise-freeze to the first
+	// post-insert instruction at the destination.
+	Downtime time.Duration
+
 	// ResidualPages is what the source still owes after completion.
 	ResidualPages int
 }
@@ -299,6 +303,7 @@ func RunTrial(cfg Config, k workload.Kind, strat core.Strategy, prefetch int) (*
 	tr.FaultP95 = imagDist.Quantile(0.95)
 	tr.FaultP99 = imagDist.Quantile(0.99)
 	tr.Phases = tb.Rec.Phases()
+	tr.Downtime = tb.Rec.Downtime()
 	if npr, ok := tb.Dst.Process(k.String()); ok {
 		tr.DestUsage = npr.AS.Usage()
 	}

@@ -128,6 +128,12 @@ const (
 
 // Message is a single IPC message.
 type Message struct {
+	// ID is the flight-recorder correlation id: stamped (lazily, only
+	// while tracing) at the message's first Send and preserved across
+	// wire re-encodings, so every MsgSend/MsgRecv event of one logical
+	// message can be matched into a causal edge. Zero when untraced.
+	// It is observability metadata, never protocol state.
+	ID      uint64
 	Op      int
 	To      PortID
 	ReplyTo PortID
@@ -317,6 +323,9 @@ func (s *System) emitMsg(kind obs.Kind, p *sim.Proc, m *Message, cost time.Durat
 	if !s.k.Tracing() {
 		return
 	}
+	if m.ID == 0 {
+		m.ID = s.k.NextTraceID()
+	}
 	s.k.Emit(obs.Event{
 		Kind:    kind,
 		Machine: s.name,
@@ -324,6 +333,7 @@ func (s *System) emitMsg(kind obs.Kind, p *sim.Proc, m *Message, cost time.Durat
 		Op:      m.Op,
 		Bytes:   m.WireBytes(),
 		Dur:     cost,
+		MsgID:   m.ID,
 	})
 }
 

@@ -118,6 +118,13 @@ type Process struct {
 	// ExecError records a fault-handling failure that killed the body.
 	ExecError error
 
+	// ResumedAt is the virtual time the body last resumed interpreting
+	// from a saved context (PC > 0) — after insertion at a migration
+	// destination, or after a rollback at the source. With the freeze
+	// instant it bounds the migration's downtime. Zero until the first
+	// resume.
+	ResumedAt time.Duration
+
 	// preempt asks the executor to stop at the next op boundary, as if
 	// a MigratePoint had been reached (set via RequestPreempt).
 	preempt bool
@@ -314,6 +321,16 @@ func (m *Machine) WaitStopped(p *sim.Proc, pr *Process) bool {
 // completion and at a migration point (distinguished by pr.Status).
 func (m *Machine) exec(p *sim.Proc, pr *Process) error {
 	ps := uint64(m.cfg.PageSize)
+	if pr.PC > 0 {
+		// Resuming a saved context: the first instruction after a
+		// migration insert (or a rollback) runs now. This instant closes
+		// the downtime span that opened at excise-freeze.
+		pr.ResumedAt = p.Now()
+		if m.rec != nil {
+			m.rec.MarkResume(p.Now())
+		}
+		m.emitState(pr, "Resumed")
+	}
 	for pr.PC < len(pr.Program.Ops) {
 		if pr.preempt {
 			pr.preempt = false

@@ -38,6 +38,16 @@ type Recorder struct {
 
 	counters map[string]uint64
 	dists    map[string]*Distribution
+
+	// Downtime accounting: the frozen interval of the most recent
+	// migration, from excise-freeze (MarkFreeze) to the first
+	// post-insert instruction (MarkResume). Plain field writes — the
+	// emission gate is the caller's nil-recorder check, so an
+	// uninstrumented run allocates nothing.
+	freezeAt time.Duration
+	resumeAt time.Duration
+	frozen   bool
+	resumed  bool
 }
 
 // Phase is a named span of virtual time.
@@ -260,6 +270,41 @@ func (r *Recorder) Messages() uint64 { return r.messages }
 
 // MessageTime reports total message-handling CPU time.
 func (r *Recorder) MessageTime() time.Duration { return r.msgTime }
+
+// MarkFreeze records that a migration froze its process at time at.
+// A later freeze supersedes an earlier one (each retry attempt
+// re-freezes), clearing any resume recorded for the earlier attempt.
+func (r *Recorder) MarkFreeze(at time.Duration) {
+	r.freezeAt = at
+	r.frozen = true
+	r.resumed = false
+}
+
+// MarkResume records the first instruction executed after a freeze, at
+// time at. Calls with no freeze outstanding (a fresh program start) or
+// after a resume has already been recorded are ignored.
+func (r *Recorder) MarkResume(at time.Duration) {
+	if !r.frozen || r.resumed {
+		return
+	}
+	r.resumeAt = at
+	r.resumed = true
+}
+
+// Downtime reports the frozen interval of the last freeze/resume pair:
+// the time the migrating process executed no instructions anywhere.
+// Zero if no migration froze, or if the process never resumed (e.g. a
+// destination held stopped by the experiment).
+func (r *Recorder) Downtime() time.Duration {
+	if !r.frozen || !r.resumed || r.resumeAt < r.freezeAt {
+		return 0
+	}
+	return r.resumeAt - r.freezeAt
+}
+
+// FreezeAt reports the last recorded freeze instant and whether one
+// was recorded at all.
+func (r *Recorder) FreezeAt() (time.Duration, bool) { return r.freezeAt, r.frozen }
 
 // StartPhase opens (or reopens) a named phase at time at.
 func (r *Recorder) StartPhase(name string, at time.Duration) {

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+	"time"
 )
 
 // ChromeSink streams events in the Chrome trace-event format (the JSON
@@ -22,6 +24,25 @@ type ChromeSink struct {
 	pidList []string            // pid-1 -> machine (emission order)
 	tids    map[string]int      // machine\x00proc -> tid
 	tidList []chromeThreadEntry // emission order
+
+	// Counter tracks: per-resource occupancy/queue-depth deltas
+	// buffered during Emit and rendered as 'C' events at Close (the
+	// absolute gauge value needs the whole stream; Chrome importers
+	// order by ts, so late emission is fine).
+	counters map[string]*counterTrack
+	ctrList  []string // emission order of counter keys
+}
+
+// counterTrack buffers ±1 step deltas for one gauge.
+type counterTrack struct {
+	name   string
+	pid    int
+	deltas []counterDelta
+}
+
+type counterDelta struct {
+	t time.Duration
+	d int
 }
 
 type chromeThreadEntry struct {
@@ -46,10 +67,11 @@ type chromeEvent struct {
 // JSON document; the file is not valid JSON until then.
 func NewChromeSink(w io.Writer) *ChromeSink {
 	s := &ChromeSink{
-		w:     bufio.NewWriterSize(w, 1<<16),
-		first: true,
-		pids:  make(map[string]int),
-		tids:  make(map[string]int),
+		w:        bufio.NewWriterSize(w, 1<<16),
+		first:    true,
+		pids:     make(map[string]int),
+		tids:     make(map[string]int),
+		counters: make(map[string]*counterTrack),
 	}
 	_, s.err = s.w.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
 	return s
@@ -133,6 +155,31 @@ func (s *ChromeSink) Emit(ev Event) {
 		ce.Args = args
 	}
 	s.write(ce)
+
+	// Feed the counter tracks: occupancy from hold/xmit spans, queue
+	// depth from waits.
+	switch ev.Kind {
+	case ResourceHold:
+		s.count("busy:"+ev.Name, pid, ev.T-ev.Dur, ev.T)
+	case LinkXmit:
+		s.count("busy:"+ev.Machine, pid, ev.T-ev.Dur, ev.T)
+	case QueueWait:
+		s.count("queue:"+ev.Name, pid, ev.T-ev.Dur, ev.T)
+	}
+}
+
+// count buffers a +1/-1 step pair for one gauge over [start, end).
+func (s *ChromeSink) count(name string, pid int, start, end time.Duration) {
+	if end <= start {
+		return
+	}
+	tr := s.counters[name]
+	if tr == nil {
+		tr = &counterTrack{name: name, pid: pid}
+		s.counters[name] = tr
+		s.ctrList = append(s.ctrList, name)
+	}
+	tr.deltas = append(tr.deltas, counterDelta{t: start, d: +1}, counterDelta{t: end, d: -1})
 }
 
 func (s *ChromeSink) write(ce chromeEvent) {
@@ -153,9 +200,26 @@ func (s *ChromeSink) write(ce chromeEvent) {
 	_, s.err = s.w.Write(b)
 }
 
-// Close appends the process/thread name metadata and terminates the
-// JSON document, reporting the first error encountered.
+// Close renders the buffered counter tracks as 'C' gauge events,
+// appends the process/thread name metadata, and terminates the JSON
+// document, reporting the first error encountered.
 func (s *ChromeSink) Close() error {
+	for _, name := range s.ctrList {
+		tr := s.counters[name]
+		sort.SliceStable(tr.deltas, func(i, j int) bool { return tr.deltas[i].t < tr.deltas[j].t })
+		val := 0
+		for i := 0; i < len(tr.deltas); {
+			t := tr.deltas[i].t
+			for i < len(tr.deltas) && tr.deltas[i].t == t {
+				val += tr.deltas[i].d
+				i++
+			}
+			s.write(chromeEvent{
+				Name: tr.name, Ph: "C", Ts: float64(t) * usPerNs, Pid: tr.pid,
+				Args: map[string]any{"value": val},
+			})
+		}
+	}
 	for i, machine := range s.pidList {
 		s.write(chromeEvent{
 			Name: "process_name", Ph: "M", Pid: i + 1,

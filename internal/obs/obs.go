@@ -56,6 +56,12 @@ const (
 	// NetRetransmit is a reliable-transport retransmission after a lost
 	// frame; Dur is the backoff waited before resending.
 	NetRetransmit
+	// ResourceHold is one completed hold of a contended resource (CPU
+	// slice, disk arm): Name is the resource, Dur the held time, and the
+	// span covers [T-Dur, T]. Together with QueueWait and LinkXmit these
+	// spans are the raw material of per-resource utilization timelines
+	// and critical-path blame (package prof).
+	ResourceHold
 
 	numKinds
 )
@@ -85,6 +91,8 @@ func (k Kind) String() string {
 		return "LinkXmit"
 	case NetRetransmit:
 		return "NetRetransmit"
+	case ResourceHold:
+		return "ResourceHold"
 	default:
 		return "Kind(?)"
 	}
@@ -127,6 +135,11 @@ type Event struct {
 	Dur time.Duration
 	// Op is the IPC operation code for message events.
 	Op int
+	// MsgID is the causal correlation id for message events: every
+	// MsgSend and MsgRecv of one logical message carries the same
+	// nonzero id, however many hops and re-encodings it crosses. The
+	// profiler's DAG builder turns equal ids into happens-before edges.
+	MsgID uint64
 }
 
 // Sink receives events. Emit is called from the single simulation

@@ -28,6 +28,40 @@ func TestKernelDispatchAllocs(t *testing.T) {
 	}
 }
 
+// TestAllocsProfileOff pins the profiler's zero-cost-when-off
+// contract: with no flight-recorder sink installed, resource holds —
+// the profiler's ResourceHold emission gate sits on the Use/UseHigh
+// release path — must not allocate at all.
+func TestAllocsProfileOff(t *testing.T) {
+	k := New()
+	r := NewResource(k, "m.cpu", 1)
+	q := NewQueue[int](k)
+	k.Go("worker", func(p *Proc) {
+		for {
+			n := q.Pop(p)
+			if n < 0 {
+				return
+			}
+			for i := 0; i < n; i++ {
+				r.Use(p, time.Microsecond)
+				r.UseHigh(p, time.Microsecond)
+			}
+		}
+	})
+	// Warm the heap and queue backing arrays.
+	q.Push(16)
+	k.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		q.Push(32)
+		k.Run()
+	})
+	q.Push(-1)
+	k.Run()
+	if avg != 0 {
+		t.Errorf("untraced resource use allocates %.2f objects per 64-hold batch, want 0", avg)
+	}
+}
+
 // TestHeapOrderingProperty drives the 4-ary heap with an adversarial
 // schedule pattern and checks the kernel's dispatch contract: events
 // fire in timestamp order, FIFO within a timestamp.

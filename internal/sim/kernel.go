@@ -43,8 +43,9 @@ type Kernel struct {
 	deadline time.Duration
 	hasDL    bool
 
-	sink  obs.Sink
-	evSeq uint64
+	sink    obs.Sink
+	evSeq   uint64
+	traceID uint64
 }
 
 // New returns an empty kernel with the clock at zero.
@@ -85,6 +86,16 @@ func (k *Kernel) EmitAt(t time.Duration, ev obs.Event) {
 	ev.Seq = k.evSeq
 	k.evSeq++
 	k.sink.Emit(ev)
+}
+
+// NextTraceID hands out a fresh nonzero correlation id for flight-
+// recorder events that must be matched up across emission points (one
+// logical IPC message's send and receive, however many hops apart).
+// Ids are per-kernel and deterministic; callers only mint them when
+// tracing, so untraced runs never touch the counter.
+func (k *Kernel) NextTraceID() uint64 {
+	k.traceID++
+	return k.traceID
 }
 
 // machineOf derives the owning machine from a dotted component name

@@ -191,6 +191,7 @@ func (r *Resource) Use(p *Proc, d time.Duration) {
 	r.Acquire(p)
 	p.Sleep(d)
 	r.Release()
+	r.observeHold(p, d)
 }
 
 // UseHigh is Use at system priority, for kernel and server work that
@@ -199,6 +200,24 @@ func (r *Resource) UseHigh(p *Proc, d time.Duration) {
 	r.AcquireHigh(p)
 	p.Sleep(d)
 	r.Release()
+	r.observeHold(p, d)
+}
+
+// observeHold records one completed hold span in the flight recorder
+// (the raw material of utilization timelines and critical-path blame).
+// With no sink installed it costs one nil check, preserving the
+// zero-allocation discipline of the untraced hot path.
+func (r *Resource) observeHold(p *Proc, d time.Duration) {
+	if d <= 0 || !r.k.Tracing() {
+		return
+	}
+	r.k.Emit(obs.Event{
+		Kind:    obs.ResourceHold,
+		Machine: machineOf(r.name),
+		Proc:    p.name,
+		Name:    r.name,
+		Dur:     d,
+	})
 }
 
 // Gate is a boolean latch: procs can wait until it opens; opening wakes

@@ -223,7 +223,15 @@ func Transfer(m *ipc.Message) (*ipc.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	return DecodeMessage(frame, extras)
+	out, err := DecodeMessage(frame, extras)
+	if err != nil {
+		return nil, err
+	}
+	// The trace correlation id rides along outside the frame: it is
+	// observability metadata (like Background), not protocol state, so
+	// the codec never sees it but each hop preserves it.
+	out.ID = m.ID
+	return out, nil
 }
 
 // FrameBytes reports the encoded frame length without keeping it.
