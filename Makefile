@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke profsmoke identity report bench clean
+.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke identity report bench clean
 
 all: build
 
@@ -16,7 +16,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race faultcheck benchsmoke pipelinesmoke profsmoke identity
+check: build vet test race faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke identity
 
 # Fault-injection determinism gate: the resilience experiment — lossy
 # sweeps, crashes, a partition — must be byte-identical across two
@@ -51,6 +51,15 @@ profsmoke:
 pipelinesmoke:
 	$(GO) run ./cmd/migsim -exp pipeline -kinds Minprog,Lisp-Del > /dev/null
 	@echo "pipelinesmoke: window/streaming sweep runs"
+
+# Content-addressed store smoke: the dedup sweep (store off/on x
+# compression x strategy) and the three-machine nearest-holder
+# comparison must run end to end on a two-workload subset, and the
+# zero-alloc gate for the disabled store must hold.
+dedupsmoke:
+	$(GO) test -count=1 -run 'TestAllocsDedupOff' -v ./internal/vm/ | grep -v '^=== RUN'
+	$(GO) run ./cmd/migsim -exp dedup -kinds Minprog,Lisp-Del > /dev/null
+	@echo "dedupsmoke: store sweep and nearest-holder comparison run"
 
 # Stop-and-wait identity gate: with the pipelined transport merged, the
 # default configuration (W=1, K=1) must still produce byte-identical

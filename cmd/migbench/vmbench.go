@@ -40,6 +40,9 @@ var vmBenchmarks = []struct {
 	{"resident_touch", vmbench.ResidentTouch},
 	{"build_amap_sparse_4gb", vmbench.BuildAMapSparse},
 	{"cow_break", vmbench.COWBreak},
+	{"page_hash_512", vmbench.PageHash},
+	{"content_index_hit", vmbench.ContentIndexHit},
+	{"content_index_miss", vmbench.ContentIndexMiss},
 }
 
 // runVMBenchmarks measures the VM-layer microbenchmarks through

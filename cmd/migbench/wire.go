@@ -9,9 +9,11 @@ import (
 
 	"accentmig/internal/core"
 	"accentmig/internal/machine"
+	"accentmig/internal/metrics"
 	"accentmig/internal/netlink"
 	"accentmig/internal/sim"
 	"accentmig/internal/trace"
+	"accentmig/internal/vm"
 )
 
 // wirePages sizes the transport benchmark's pure-copy migration: 2048
@@ -44,6 +46,78 @@ type WireReport struct {
 	TransferBytes uint64    `json:"transfer_bytes"`
 	W16SimSpeedup float64   `json:"w16_sim_speedup"`
 	Rows          []WireRow `json:"rows"`
+
+	// Dedup rows run the same-size migration with patterned pages (4x
+	// content duplication) through the content-addressed store.
+	// DedupBytesSavedPct is the acceptance headline: bytes on wire saved
+	// by the store, net of its own manifest traffic.
+	DedupBytesSavedPct float64        `json:"dedup_bytes_saved_pct"`
+	DedupRows          []DedupWireRow `json:"dedup_rows"`
+}
+
+// DedupWireRow is one store mode's measured transfer.
+type DedupWireRow struct {
+	Mode        string  `json:"mode"`
+	SimXferS    float64 `json:"sim_xfer_s"`   // simulated RIMAS transfer seconds
+	Bytes       uint64  `json:"bytes"`        // total bytes on the simulated wire
+	ElidedPages int     `json:"elided_pages"` // pages rebuilt instead of shipped
+	HostWallMS  float64 `json:"host_wall_ms"` // host time to simulate the run
+}
+
+// runDedupWireOnce simulates the patterned-page pure-copy migration
+// under one store mode. Pages cycle through wirePages/4 distinct
+// contents, so a quarter of the data is unique — the shape of a code
+// segment shared across process instances.
+func runDedupWireOnce(mode vm.DedupConfig) (DedupWireRow, error) {
+	k := sim.New()
+	mcfg := machine.Config{Dedup: mode}
+	src := machine.New(k, "src", mcfg)
+	dst := machine.New(k, "dst", mcfg)
+	link := machine.Connect(src, dst, netlink.Config{})
+	rec := metrics.NewRecorder(time.Second)
+	src.SetRecorder(rec)
+	dst.SetRecorder(rec)
+	link.SetRecorder(rec)
+	srcM := core.NewManager(src, core.DefaultTuning())
+	dstM := core.NewManager(dst, core.DefaultTuning())
+	src.Net.AddRoute(dstM.Port.ID, "dst")
+	dst.Net.AddRoute(srcM.Port.ID, "src")
+
+	pr, err := src.NewProcess("job", 1)
+	if err != nil {
+		return DedupWireRow{}, err
+	}
+	reg, err := pr.AS.Validate(0, wirePages*512, "data")
+	if err != nil {
+		return DedupWireRow{}, err
+	}
+	const distinct = wirePages / 4
+	for i := uint64(0); i < wirePages; i++ {
+		buf := make([]byte, 512)
+		for j := range buf {
+			buf[j] = byte(int(i%distinct)*31 + j*7 + 1)
+		}
+		reg.Seg.Materialize(i, buf)
+	}
+	pr.Program = &trace.Program{Ops: []trace.Op{trace.MigratePoint{}}}
+	src.Start(pr)
+
+	var rep *core.Report
+	var migErr error
+	k.Go("driver", func(p *sim.Proc) {
+		rep, migErr = srcM.MigrateTo(p, "job", dstM.Port.ID, core.Options{
+			Strategy: core.PureCopy, HoldAtDest: true,
+		})
+	})
+	k.Run()
+	if migErr != nil {
+		return DedupWireRow{}, migErr
+	}
+	return DedupWireRow{
+		SimXferS:    rep.RIMASTransfer.Seconds(),
+		Bytes:       rec.BytesTotal(),
+		ElidedPages: rep.Insert.ElidedPages,
+	}, nil
 }
 
 // runWireOnce simulates one pure-copy migration of a 1 MB process at
@@ -130,6 +204,27 @@ func runWireBenchmarks(path string) error {
 		report.W16SimSpeedup = base / w16.SimXferS
 	}
 
+	for _, m := range []struct {
+		name string
+		cfg  vm.DedupConfig
+	}{
+		{"off", vm.DedupConfig{}},
+		{"dedup", vm.DedupConfig{Enabled: true}},
+		{"dedup+comp", vm.DedupConfig{Enabled: true, Compress: true}},
+	} {
+		start := time.Now()
+		row, err := runDedupWireOnce(m.cfg)
+		if err != nil {
+			return err
+		}
+		row.Mode = m.name
+		row.HostWallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+		report.DedupRows = append(report.DedupRows, row)
+	}
+	if off, on := report.DedupRows[0].Bytes, report.DedupRows[1].Bytes; off > 0 {
+		report.DedupBytesSavedPct = 100 * (1 - float64(on)/float64(off))
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -147,6 +242,14 @@ func runWireBenchmarks(path string) error {
 		fmt.Printf(", W=%d %.1fs", r.Window, r.SimXferS)
 	}
 	fmt.Printf(", W16 speedup %.2fx) -> %s\n", report.W16SimSpeedup, path)
+	fmt.Printf("migbench: dedup sweep (")
+	for i, r := range report.DedupRows {
+		if i > 0 {
+			fmt.Printf(", ")
+		}
+		fmt.Printf("%s %dB", r.Mode, r.Bytes)
+	}
+	fmt.Printf(") %.1f%% saved -> %s\n", report.DedupBytesSavedPct, path)
 	return nil
 }
 

@@ -10,6 +10,8 @@
 //	migsim -exp all -parallel 1     # force sequential trials
 //	migsim -exp resilience          # fault-injection sweep
 //	migsim -exp pipeline            # windowed-transport sweep (not part of 'all')
+//	migsim -exp dedup               # content-addressed store sweep (not part of 'all')
+//	migsim -exp summary -dedup      # any experiment with the page store on
 //	migsim -exp summary -window 16  # any experiment under a pipelined transport
 //	migsim -exp table4-5 -faults plan.json -max-retries 2
 //	migsim -list
@@ -46,9 +48,10 @@ var experimentOrder = []string{
 
 // extraExperiments run only when named explicitly. The pipeline sweep
 // flips the transport out of its paper-faithful stop-and-wait default,
-// and the bottleneck sweep re-runs every cell traced, so both stay out
-// of -exp all to keep that output byte-identical across releases.
-var extraExperiments = []string{"pipeline", "bottleneck"}
+// the dedup sweep turns on the content-addressed page store, and the
+// bottleneck sweep re-runs every cell traced, so all stay out of
+// -exp all to keep that output byte-identical across releases.
+var extraExperiments = []string{"pipeline", "dedup", "bottleneck"}
 
 var tunables struct {
 	physFrames int
@@ -62,6 +65,9 @@ var tunables struct {
 
 	window      int
 	outstanding int
+
+	dedup    bool
+	compress bool
 
 	sink interface {
 		obs.Sink
@@ -81,6 +87,8 @@ func main() {
 	flag.IntVar(&tunables.maxRetries, "max-retries", -1, "migration retry budget with strategy degradation (-1 = experiment default)")
 	flag.IntVar(&tunables.window, "window", 0, "transport send window in fragments (0/1 = paper-faithful stop-and-wait)")
 	flag.IntVar(&tunables.outstanding, "outstanding", 0, "outstanding IOU page-run fetches per pager (0/1 = serial demand faults)")
+	flag.BoolVar(&tunables.dedup, "dedup", false, "enable the content-addressed page store (manifest elision + fault hints)")
+	flag.BoolVar(&tunables.compress, "compress", false, "enable the modeled wire compressor (implies -dedup)")
 	flag.BoolVar(&tunables.csv, "csv", false, "emit figure data as CSV instead of text")
 	trace := flag.String("trace", "", "write a flight-recorder trace of every simulation to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
@@ -217,6 +225,10 @@ func baseConfig() (experiments.Config, error) {
 	}
 	if tunables.outstanding > 1 {
 		cfg.Machine.Pager.Outstanding = tunables.outstanding
+	}
+	if tunables.dedup || tunables.compress {
+		cfg.Machine.Dedup.Enabled = true
+		cfg.Machine.Dedup.Compress = tunables.compress
 	}
 	plan, err := faultPlan()
 	if err != nil {
@@ -382,6 +394,12 @@ func run(id string, kinds []workload.Kind) error {
 			return err
 		}
 		fmt.Println(experiments.FormatPipeline(t))
+	case "dedup":
+		t, err := experiments.Dedup(cfg, kinds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatDedup(t))
 	case "bottleneck":
 		rows, err := experiments.Bottleneck(cfg, kinds)
 		if err != nil {

@@ -362,6 +362,7 @@ func init() {
 			w.i64(int64(ab.Insert.ArrivedPages))
 			w.i64(int64(ab.Insert.IOURuns))
 			w.i64(int64(ab.Insert.ZeroRuns))
+			w.i64(int64(ab.Insert.ElidedPages))
 			w.str(ab.Err)
 			w.i64(int64(ab.Attempt))
 			return w.b, nil, nil
@@ -377,6 +378,7 @@ func init() {
 				ab.Insert.ArrivedPages = int(r.i64())
 				ab.Insert.IOURuns = int(r.i64())
 				ab.Insert.ZeroRuns = int(r.i64())
+				ab.Insert.ElidedPages = int(r.i64())
 				ab.Err = r.str()
 				ab.Attempt = int(r.i64())
 				return ab, nil

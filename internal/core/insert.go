@@ -17,6 +17,10 @@ type InsertTimings struct {
 	ArrivedPages int
 	IOURuns      int
 	ZeroRuns     int
+	// ElidedPages counts pages the manifest exchange kept off the wire:
+	// rebuilt here from the retained recipe (zero pages, local content-
+	// index hits, intra-message duplicates) instead of arriving.
+	ElidedPages int
 }
 
 // InsertProcess recreates a process on machine m from its two context
@@ -26,13 +30,20 @@ type InsertTimings struct {
 // faults flow back to the backer. The reconstituted process is returned
 // ready for machine.Start.
 func InsertProcess(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc.Message, tun Tuning) (*machine.Process, InsertTimings, error) {
-	return InsertProcessStaged(p, m, coreMsg, rimasMsg, nil, tun)
+	return insertProcess(p, m, coreMsg, rimasMsg, nil, nil, tun)
 }
 
 // InsertProcessStaged is InsertProcess with a pre-copy stage: page
 // contents for PreCopied handoffs, keyed by VA, gathered by earlier
 // OpPreCopy rounds.
 func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc.Message, staged map[vm.Addr][]byte, tun Tuning) (*machine.Process, InsertTimings, error) {
+	return insertProcess(p, m, coreMsg, rimasMsg, staged, nil, tun)
+}
+
+// insertProcess is the full insertion path: InsertProcessStaged plus
+// the manifest recipe, which rebuilds pages the source elided and
+// seeds fault-time hash hints for pages riding IOUs.
+func insertProcess(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc.Message, staged map[vm.Addr][]byte, rcp *dedupRecipe, tun Tuning) (*machine.Process, InsertTimings, error) {
 	start := p.Now()
 	var t InsertTimings
 	cb, ok := coreMsg.Body.(*CoreBody)
@@ -85,11 +96,17 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 	// (with their own VA) become stand-ins of their original objects.
 	var lazySeg, resSeg *vm.Segment
 	arrived := 0
-	mkSegment := func(a *ipc.MemAttachment, label string) (*vm.Segment, error) {
+	compPages := 0
+	// built tracks each data attachment's segment by its ordinal in the
+	// RIMAS attachment list, so twin recipes can copy from the shipped
+	// original wherever it landed.
+	built := make(map[int]*vm.Segment)
+	mkSegment := func(ai int, a *ipc.MemAttachment, label string) (*vm.Segment, error) {
 		switch a.Kind {
 		case ipc.AttachData:
 			seg := vm.NewSegment(fmt.Sprintf("%s.%s", cb.ProcName, label), a.Size, int(ps))
 			attachPool(m, seg)
+			built[ai] = seg
 			for _, run := range a.Runs {
 				for j := 0; j < run.Count; j++ {
 					idx := run.Index + uint64(j)
@@ -101,6 +118,16 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 					arrived++
 				}
 			}
+			if a.CompBytes > 0 {
+				compPages += a.PageCount()
+			}
+			if acts := recipeActsFor(rcp, ai); acts != nil {
+				n, err := applyRecipe(m, seg, acts, built)
+				if err != nil {
+					return nil, fmt.Errorf("core: insert %q: %w", cb.ProcName, err)
+				}
+				t.ElidedPages += n
+			}
 			return seg, nil
 		case ipc.AttachIOU:
 			seg := vm.NewImaginarySegment(fmt.Sprintf("%s.%s", cb.ProcName, label), a.SegSize, int(ps), uint64(a.Backing))
@@ -109,21 +136,32 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 			// object it knows.
 			seg.ID = a.SegID
 			registerDeathNotice(m, seg)
+			// An absorbed attachment's manifest hashes become fault-time
+			// hints: a later fault on these pages first tries the local
+			// content index, then the nearest holder, before the backer.
+			if acts := recipeActsFor(rcp, ai); acts != nil {
+				base := a.SegOff / uint64(ps)
+				for i, act := range acts {
+					if act.hash != vm.ZeroHash {
+						m.Pager.RegisterHint(seg.ID, base+uint64(i), act.hash)
+					}
+				}
+			}
 			return seg, nil
 		}
 		return nil, fmt.Errorf("core: insert %q: unknown attachment kind %d", cb.ProcName, int(a.Kind))
 	}
 	var imagAtts []*ipc.MemAttachment
-	for _, a := range rimasMsg.Mem {
+	for ai, a := range rimasMsg.Mem {
 		switch {
 		case a.Collapsed && a.Resident:
-			seg, err := mkSegment(a, "collapsed-rs")
+			seg, err := mkSegment(ai, a, "collapsed-rs")
 			if err != nil {
 				return nil, t, err
 			}
 			resSeg = seg
 		case a.Collapsed:
-			seg, err := mkSegment(a, "collapsed")
+			seg, err := mkSegment(ai, a, "collapsed")
 			if err != nil {
 				return nil, t, err
 			}
@@ -212,10 +250,14 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 	// Rights/PCB processing (CoreRightsCPU) is charged by the manager
 	// when the Core message arrives — it belongs to the transfer phase,
 	// which is why Core transmission takes ≈1 s in all cases (§4.3.2).
+	// Elided pages cost the same per-page install work as arrived ones
+	// (the copy is local instead of from the wire); compressed arrivals
+	// additionally pay the modeled decompression.
 	m.CPU.UseHigh(p, tun.InsertBase+
 		time.Duration(len(cb.Rights))*tun.PerPortRight+
 		time.Duration(len(cb.AMap.Entries)+len(rimasMsg.Mem))*tun.InsertPerRun+
-		time.Duration(t.ArrivedPages)*tun.InsertPerArrivedPage)
+		time.Duration(t.ArrivedPages+t.ElidedPages)*tun.InsertPerArrivedPage+
+		time.Duration(compPages)*m.DedupConfig().DecompressPerPageCPU)
 
 	if err := m.Adopt(pr); err != nil {
 		return nil, t, err
@@ -223,6 +265,65 @@ func InsertProcessStaged(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc
 	m.Pager.SetPrefetch(cb.Prefetch)
 	t.Overall = p.Now() - start
 	return pr, t, nil
+}
+
+// recipeActsFor returns the recipe actions for attachment ordinal ai,
+// or nil when no recipe covers it.
+func recipeActsFor(rcp *dedupRecipe, ai int) []recipeAct {
+	if rcp == nil || ai >= len(rcp.atts) || len(rcp.atts[ai].acts) == 0 {
+		return nil
+	}
+	return rcp.atts[ai].acts
+}
+
+// applyRecipe rebuilds a data attachment's elided pages — zeros from
+// nothing, local hits from bytes captured at classification, twins
+// from the shipped original — and registers every page's hash in the
+// machine's content index so later faults and migrations can be served
+// locally. Shipped pages must already be materialized by the run loop.
+// It returns how many pages were rebuilt.
+func applyRecipe(m *machine.Machine, seg *vm.Segment, acts []recipeAct, built map[int]*vm.Segment) (int, error) {
+	rebuilt := 0
+	install := func(idx uint64, data []byte, hash uint64) {
+		pg := seg.Materialize(idx, data)
+		pg.State.Dirty = true
+		m.Pager.Install(seg, idx)
+		if m.Index != nil && hash != vm.ZeroHash {
+			m.Index.Put(hash, pg.Data)
+		}
+		rebuilt++
+	}
+	for i, act := range acts {
+		idx := uint64(i)
+		switch act.kind {
+		case actShip, actHint:
+			// actHint on a data attachment means the transport shipped an
+			// attachment the source predicted it would absorb — nothing to
+			// rebuild, but the hashes still seed the index.
+			if pg := seg.Page(idx); pg != nil {
+				if m.Index != nil && act.hash != vm.ZeroHash {
+					m.Index.Put(act.hash, pg.Data)
+				}
+			} else if act.kind == actShip {
+				return rebuilt, fmt.Errorf("manifest page %d missing from shipped runs", i)
+			}
+		case actZero:
+			install(idx, nil, vm.ZeroHash)
+		case actLocal:
+			install(idx, act.data, act.hash)
+		case actTwin:
+			twinSeg := built[act.twinAtt]
+			if twinSeg == nil {
+				return rebuilt, fmt.Errorf("twin attachment %d not built", act.twinAtt)
+			}
+			src := twinSeg.Page(uint64(act.twinIdx))
+			if src == nil {
+				return rebuilt, fmt.Errorf("twin page %d/%d not materialized", act.twinAtt, act.twinIdx)
+			}
+			install(idx, src.Data, act.hash)
+		}
+	}
+	return rebuilt, nil
 }
 
 // attachPool points a freshly inserted segment at the machine's frame

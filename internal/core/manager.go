@@ -103,7 +103,11 @@ type Manager struct {
 	pendingCore map[string]*pending
 	// staged holds pre-copied page contents by process and VA, awaiting
 	// the final PreCopied handoff.
-	staged   map[string]map[vm.Addr][]byte
+	staged map[string]map[vm.Addr][]byte
+	// recipes holds each process's classified page-manifest recipe — how
+	// to rebuild the pages the source was told not to ship — awaiting
+	// the RIMAS message that consumes it.
+	recipes  map[string]*dedupRecipe
 	inserted uint64
 }
 
@@ -120,6 +124,7 @@ func NewManager(m *machine.Machine, tun Tuning) *Manager {
 		Port:        m.IPC.AllocPort(m.Name + ".migmgr"),
 		pendingCore: make(map[string]*pending),
 		staged:      make(map[string]map[vm.Addr][]byte),
+		recipes:     make(map[string]*dedupRecipe),
 	}
 	m.K.Go(m.Name+".migmgr", mgr.serve)
 	return mgr
@@ -180,6 +185,12 @@ func (mgr *Manager) serve(p *sim.Proc) {
 					BodyBytes: 96,
 				})
 			}
+		case OpManifest:
+			mb, ok := m.Body.(*ManifestBody)
+			if !ok {
+				continue
+			}
+			mgr.handleManifest(p, mb, m)
 		case OpRIMAS:
 			rb, ok := m.Body.(*RIMASBody)
 			if !ok {
@@ -196,9 +207,44 @@ func (mgr *Manager) serve(p *sim.Proc) {
 	}
 }
 
+// handleManifest classifies a page manifest against the local content
+// index, retains the reconstruction recipe for the RIMAS message that
+// follows, and answers with the needed-page bitmaps.
+func (mgr *Manager) handleManifest(p *sim.Proc, mb *ManifestBody, m *ipc.Message) {
+	total := 0
+	for _, a := range mb.Atts {
+		total += len(a.Hashes)
+	}
+	// Classification work: each page costs one hash lookup (the index
+	// verifies hits by re-hashing the remembered frame).
+	if d := mgr.M.DedupConfig(); d.Enabled && total > 0 {
+		mgr.M.CPU.UseHigh(p, time.Duration(total)*d.HashPerPageCPU)
+	}
+	rcp, ack := classifyManifest(mb, mgr.M.Index, mgr.M.PageSize())
+	// A manifest of an older, abandoned attempt must not clobber the
+	// recipe of the attempt actually in flight.
+	if old, held := mgr.recipes[mb.ProcName]; !held || mb.Attempt >= old.attempt {
+		mgr.recipes[mb.ProcName] = rcp
+	}
+	mgr.state(mb.ProcName, "ManifestClassified")
+	if m.ReplyTo != 0 {
+		_ = mgr.M.IPC.Send(p, &ipc.Message{
+			Op:        OpManifestAck,
+			To:        m.ReplyTo,
+			Body:      ack,
+			BodyBytes: ack.Bytes(),
+		})
+	}
+}
+
 func (mgr *Manager) handleRIMAS(p *sim.Proc, rb *RIMASBody, m *ipc.Message) {
 	rimasArrived := p.Now()
 	pend, ok := mgr.pendingCore[rb.ProcName]
+	rcp := mgr.recipes[rb.ProcName]
+	delete(mgr.recipes, rb.ProcName)
+	if rcp != nil && rcp.attempt != rb.Attempt {
+		rcp = nil
+	}
 	ack := &AckBody{ProcName: rb.ProcName, RIMASArrived: rimasArrived, Attempt: rb.Attempt}
 	if !ok {
 		ack.Err = fmt.Sprintf("RIMAS for %q with no Core context", rb.ProcName)
@@ -210,7 +256,7 @@ func (mgr *Manager) handleRIMAS(p *sim.Proc, rb *RIMASBody, m *ipc.Message) {
 			stage = mgr.staged[rb.ProcName]
 			delete(mgr.staged, rb.ProcName)
 		}
-		pr, it, err := InsertProcessStaged(p, mgr.M, pend.core, m, stage, mgr.Tun)
+		pr, it, err := insertProcess(p, mgr.M, pend.core, m, stage, rcp, mgr.Tun)
 		if err != nil {
 			ack.Err = err.Error()
 		} else {
@@ -400,6 +446,15 @@ func (mgr *Manager) migrateOnce(p *sim.Proc, procName string, destPort ipc.PortI
 	rb := ctx.RIMAS.Body.(*RIMASBody)
 	rb.HoldAtDest = opts.HoldAtDest
 	rb.Attempt = attempt
+	// With the content-addressed store on, a manifest round-trip
+	// precedes the RIMAS transfer: the destination names the pages it
+	// cannot rebuild, and only those ship. The exchange lives inside
+	// the xfer.rimas window, so its cost weighs against its savings.
+	if d := mgr.M.DedupConfig(); d.Enabled && !rb.PreCopied {
+		if err := mgr.exchangeManifest(p, procName, destPort, reply, ctx, timeout, attempt, d); err != nil {
+			return nil, fail(err)
+		}
+	}
 	ctx.RIMAS.To = destPort
 	ctx.RIMAS.ReplyTo = reply.ID
 	if err := mgr.M.IPC.Send(p, ctx.RIMAS); err != nil {
@@ -485,6 +540,9 @@ func (mgr *Manager) awaitAck(p *sim.Proc, reply *ipc.Port, wantOp, attempt int, 
 			return nil, false, fmt.Errorf("%w: %q in %s (attempt %d): %s",
 				ErrPeerDead, procName, phase, attempt, reason)
 		}
+		if _, stale := m.Body.(*ManifestAckBody); stale {
+			continue // manifest ack limping in from an abandoned attempt
+		}
 		ab, ok := m.Body.(*AckBody)
 		if !ok {
 			return nil, false, fmt.Errorf("core: malformed migration ack for %q: op %#x body %T",
@@ -500,6 +558,106 @@ func (mgr *Manager) awaitAck(p *sim.Proc, reply *ipc.Port, wantOp, attempt int, 
 			continue // duplicate of an already-consumed ack
 		}
 		return ab, false, nil
+	}
+}
+
+// exchangeManifest runs the page-manifest round-trip for one attempt
+// and applies the destination's answer to the RIMAS message: elided
+// pages are stripped from the attachments (the rollback snapshot keeps
+// the originals), and what remains is run through the modeled
+// compressor when configured. Timeouts and dead peers surface as the
+// usual recoverable phase errors.
+func (mgr *Manager) exchangeManifest(p *sim.Proc, procName string, destPort ipc.PortID, reply *ipc.Port, ctx *Context, timeout time.Duration, attempt int, d vm.DedupConfig) error {
+	ps := mgr.M.PageSize()
+	mb, pages := buildManifest(procName, attempt, ctx.RIMAS, mgr.M.NetConfig(), ps)
+	if pages == 0 {
+		return nil
+	}
+	// Hashing sweeps the collapsed pages once, at manifest build.
+	mgr.M.CPU.UseHigh(p, time.Duration(pages)*d.HashPerPageCPU)
+	if err := mgr.M.IPC.Send(p, &ipc.Message{
+		Op:        OpManifest,
+		To:        destPort,
+		ReplyTo:   reply.ID,
+		Body:      mb,
+		BodyBytes: mb.Bytes(),
+	}); err != nil {
+		return fmt.Errorf("%w: sending page manifest: %v", ErrPeerDead, err)
+	}
+	ack, err := mgr.awaitManifestAck(p, reply, attempt, timeout, procName)
+	if err != nil {
+		return err
+	}
+	elided := 0
+	mem := make([]*ipc.MemAttachment, len(ctx.RIMAS.Mem))
+	copy(mem, ctx.RIMAS.Mem)
+	for i, a := range mem {
+		if i >= len(mb.Atts) || !mb.Atts[i].WillShip {
+			continue
+		}
+		n := len(mb.Atts[i].Hashes)
+		if n == 0 {
+			continue
+		}
+		if i < len(ack.Needed) && len(ack.Needed[i]) == (n+7)/8 {
+			na, e := elideAttachment(a, ack.Needed[i], ps)
+			mem[i] = na
+			elided += e
+		}
+		if d.Compress {
+			if mem[i] == a {
+				// Don't stamp CompBytes onto the rollback snapshot's
+				// attachment — compress a copy.
+				cp := *a
+				mem[i] = &cp
+			}
+			np := compressAttachment(mem[i], ps)
+			mgr.M.CPU.UseHigh(p, time.Duration(np)*d.CompressPerPageCPU)
+		}
+	}
+	ctx.RIMAS.Mem = mem
+	if elided > 0 {
+		if rec := mgr.M.Recorder(); rec != nil {
+			rec.Inc("pages.elided", uint64(elided))
+		}
+	}
+	return nil
+}
+
+// awaitManifestAck waits for the manifest answer of the current
+// attempt, bounded by the per-phase timeout.
+func (mgr *Manager) awaitManifestAck(p *sim.Proc, reply *ipc.Port, attempt int, timeout time.Duration, procName string) (*ManifestAckBody, error) {
+	deadline := p.Now() + timeout
+	for {
+		var m *ipc.Message
+		if timeout <= 0 {
+			m = mgr.M.IPC.Receive(p, reply)
+		} else {
+			remain := deadline - p.Now()
+			if remain <= 0 {
+				return nil, fmt.Errorf("%w: %q awaiting manifest ack (attempt %d)",
+					ErrPhaseTimeout, procName, attempt)
+			}
+			var got bool
+			m, got = mgr.M.IPC.ReceiveTimeout(p, reply, remain)
+			if !got {
+				return nil, fmt.Errorf("%w: %q awaiting manifest ack (attempt %d)",
+					ErrPhaseTimeout, procName, attempt)
+			}
+		}
+		if m.Op == ipc.OpSendFailed {
+			reason := "unknown"
+			if sf, ok := m.Body.(*ipc.SendFailure); ok {
+				reason = sf.Reason
+			}
+			return nil, fmt.Errorf("%w: %q awaiting manifest ack (attempt %d): %s",
+				ErrPeerDead, procName, attempt, reason)
+		}
+		ab, ok := m.Body.(*ManifestAckBody)
+		if !ok || ab.Attempt != attempt {
+			continue // stale ack of an earlier attempt or phase
+		}
+		return ab, nil
 	}
 }
 

@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"accentmig/internal/core"
+	"accentmig/internal/machine"
+	"accentmig/internal/metrics"
+	"accentmig/internal/sim"
+	"accentmig/internal/trace"
+	"accentmig/internal/vm"
+	"accentmig/internal/workload"
+)
+
+// dedupModes are the store configurations the sweep crosses with: off
+// is the paper-faithful baseline (byte-identical to every other
+// experiment), dedup adds manifest elision and fault hints, and
+// dedup+comp layers the modeled compressor on whatever still ships.
+var dedupModes = []struct {
+	Name string
+	Cfg  vm.DedupConfig
+}{
+	{"off", vm.DedupConfig{}},
+	{"dedup", vm.DedupConfig{Enabled: true}},
+	{"dedup+comp", vm.DedupConfig{Enabled: true, Compress: true}},
+}
+
+// dedupStrategies spans the ladder the bytes-on-wire story cares
+// about: pure-copy ships everything (maximum elision opportunity),
+// the resident set ships half, pure-IOU ships nothing up front (the
+// manifest only seeds fault hints).
+var dedupStrategies = []core.Strategy{core.PureCopy, core.ResidentSet, core.PureIOU}
+
+// DedupRow is one cell of the content-addressed store sweep.
+type DedupRow struct {
+	Mode     string
+	Kind     workload.Kind
+	Strategy core.Strategy
+	// Xfer is the RIMAS transfer time, EndToEnd adds remote execution,
+	// Bytes is total wire traffic for the trial (manifest round trip
+	// included — elision has to out-earn its own protocol).
+	Xfer     time.Duration
+	EndToEnd time.Duration
+	Bytes    uint64
+	// Elided counts pages rebuilt at the destination instead of
+	// shipped; Local and Holder count faults served from the content
+	// index rather than the origin backer.
+	Elided int
+	Local  uint64
+	Holder uint64
+	Down   time.Duration
+}
+
+// NearestHolderRow compares fault service with and without the
+// nearest-holder path on a three-machine topology where a bystander
+// near the destination already holds the faulting process's content.
+type NearestHolderRow struct {
+	Mode      string
+	FaultMean time.Duration
+	FaultP95  time.Duration
+	Local     uint64
+	Holder    uint64
+}
+
+// DedupTable holds the full content-addressed store experiment.
+type DedupTable struct {
+	Kinds  []workload.Kind
+	Rows   []DedupRow
+	Holder []NearestHolderRow
+}
+
+// Dedup sweeps store mode x strategy x workload through the memoized
+// engine, then runs the three-machine nearest-holder comparison. The
+// off column runs the untouched transfer path, so it is byte-identical
+// to the default experiments.
+func (e *Engine) Dedup(cfg Config, kinds []workload.Kind) (*DedupTable, error) {
+	cfg = cfg.forParallel(e.Workers())
+	type cell struct {
+		cfg   Config
+		mode  string
+		kind  workload.Kind
+		strat core.Strategy
+	}
+	var cells []cell
+	for _, m := range dedupModes {
+		c := cfg
+		c.Machine.Dedup = m.Cfg
+		for _, kind := range kinds {
+			for _, strat := range dedupStrategies {
+				cells = append(cells, cell{cfg: c, mode: m.Name, kind: kind, strat: strat})
+			}
+		}
+	}
+
+	out := make([]*TrialResult, len(cells))
+	errs := make([]error, len(cells))
+	e.fanOut(len(cells), func(i int) {
+		c := cells[i]
+		out[i], errs[i] = e.Trial(c.cfg, c.kind, c.strat, 0)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	t := &DedupTable{Kinds: kinds}
+	for i, c := range cells {
+		tr := out[i]
+		t.Rows = append(t.Rows, DedupRow{
+			Mode:     c.mode,
+			Kind:     c.kind,
+			Strategy: c.strat,
+			Xfer:     tr.Report.RIMASTransfer,
+			EndToEnd: tr.EndToEnd,
+			Bytes:    tr.BytesTotal,
+			Elided:   tr.Report.Insert.ElidedPages,
+			Local:    tr.DestPager.LocalServes,
+			Holder:   tr.DestPager.HolderServes,
+			Down:     tr.Downtime,
+		})
+	}
+	holder, err := NearestHolder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.Holder = holder
+	return t, nil
+}
+
+// Dedup runs the content-addressed store experiment on the default
+// engine.
+func Dedup(cfg Config, kinds []workload.Kind) (*DedupTable, error) {
+	return Default.Dedup(cfg, kinds)
+}
+
+// nearestHolderPages sizes the migrating process in the three-machine
+// comparison.
+const nearestHolderPages = 64
+
+// NearestHolder quantifies the nearest-holder fault path. Three
+// machines: origin and the destination sit across a slow link (8x the
+// base latency), a bystander sits next to the destination on a fast
+// one. A seed process carries the content set to the bystander; then
+// an identical-content process migrates origin->dst by pure IOU and
+// touches every page. With the store off every fault crosses the slow
+// link to the origin backer; with it on, the manifest's hash hints let
+// the destination fetch each page from the bystander next door.
+func NearestHolder(cfg Config) ([]NearestHolderRow, error) {
+	var rows []NearestHolderRow
+	for _, mode := range []struct {
+		name  string
+		dedup bool
+	}{{"origin backer", false}, {"nearest holder", true}} {
+		row, err := runNearestHolder(cfg, mode.dedup)
+		if err != nil {
+			return nil, err
+		}
+		row.Mode = mode.name
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runNearestHolder(cfg Config, dedup bool) (NearestHolderRow, error) {
+	var row NearestHolderRow
+	k := sim.New()
+	mcfg := cfg.Machine
+	mcfg.Dedup = vm.DedupConfig{Enabled: dedup}
+	origin := machine.New(k, "origin", mcfg)
+	near := machine.New(k, "near", mcfg)
+	dst := machine.New(k, "dst", mcfg)
+
+	nearLink := cfg.Link
+	farLink := cfg.Link
+	if farLink.Latency == 0 {
+		farLink.Latency = 5 * time.Millisecond
+	}
+	farLink.Latency *= 8
+	machine.Connect(origin, dst, farLink)
+	machine.Connect(origin, near, farLink)
+	machine.Connect(near, dst, nearLink)
+
+	ms := []*machine.Machine{origin, near, dst}
+	mgrs := make([]*core.Manager, len(ms))
+	recs := make([]*metrics.Recorder, len(ms))
+	for i, m := range ms {
+		mgrs[i] = core.NewManager(m, cfg.tuning())
+	}
+	for i, m := range ms {
+		recs[i] = metrics.NewRecorder(time.Second)
+		m.SetRecorder(recs[i])
+		for j := range ms {
+			if i != j {
+				m.Net.AddRoute(mgrs[j].Port.ID, ms[j].Name)
+			}
+		}
+	}
+	if dedup {
+		// Listed nearest-first from the destination's point of view.
+		WireHolderResolvers(near, origin, dst)
+	}
+
+	ps := origin.PageSize()
+	content := func(i int) []byte {
+		d := make([]byte, ps)
+		for j := range d {
+			d[j] = byte(i*31 + j*7 + 1)
+		}
+		return d
+	}
+	build := func(name string, ops []trace.Op) (*machine.Process, error) {
+		pr, err := origin.NewProcess(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		reg, err := pr.AS.Validate(0, uint64(nearestHolderPages*ps), "data")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < nearestHolderPages; i++ {
+			pg := reg.Seg.Materialize(uint64(i), content(i))
+			pg.State.OnDisk = true
+		}
+		pr.Program = &trace.Program{Ops: ops}
+		return pr, nil
+	}
+
+	seed, err := build("seed", []trace.Op{trace.MigratePoint{}})
+	if err != nil {
+		return row, err
+	}
+	jobOps := []trace.Op{trace.MigratePoint{}}
+	for i := 0; i < nearestHolderPages; i++ {
+		jobOps = append(jobOps, trace.Touch{Addr: vm.Addr(i * ps)})
+	}
+	job, err := build("job", jobOps)
+	if err != nil {
+		return row, err
+	}
+	origin.Start(seed)
+	origin.Start(job)
+
+	var runErr error
+	k.Go("driver", func(p *sim.Proc) {
+		// Seed the bystander's content index; the held process keeps its
+		// frames (and so the index entries) live for the whole trial.
+		if _, err := mgrs[0].MigrateTo(p, "seed", mgrs[1].Port.ID, core.Options{
+			Strategy: core.PureCopy, WaitMigratePoint: true, HoldAtDest: true,
+		}); err != nil {
+			runErr = err
+			return
+		}
+		if _, err := mgrs[0].MigrateTo(p, "job", mgrs[2].Port.ID, core.Options{
+			Strategy: core.PureIOU, WaitMigratePoint: true,
+		}); err != nil {
+			runErr = err
+			return
+		}
+		npr, ok := dst.Process("job")
+		if !ok {
+			runErr = fmt.Errorf("experiments: job not on destination")
+			return
+		}
+		runErr = npr.WaitDone(p)
+	})
+	k.Run()
+	if runErr != nil {
+		return row, runErr
+	}
+
+	st := dst.Pager.Stats()
+	dist := recs[2].Dist("latency.fault.imag")
+	row.FaultMean = dist.Mean()
+	row.FaultP95 = dist.Quantile(0.95)
+	row.Local = st.LocalServes
+	row.Holder = st.HolderServes
+	return row, nil
+}
+
+// FormatDedup renders the store sweep per workload (savings are bytes
+// on wire relative to the same strategy's off row) and the
+// nearest-holder comparison.
+func FormatDedup(t *DedupTable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Content-addressed page store: bytes on wire by mode\n")
+
+	base := map[workload.Kind]map[core.Strategy]uint64{}
+	for _, r := range t.Rows {
+		if r.Mode == "off" {
+			if base[r.Kind] == nil {
+				base[r.Kind] = map[core.Strategy]uint64{}
+			}
+			base[r.Kind][r.Strategy] = r.Bytes
+		}
+	}
+	for _, kind := range t.Kinds {
+		fmt.Fprintf(&b, "\n%s\n", kind)
+		fmt.Fprintf(&b, "%12s %-11s %10s %7s %7s %10s %7s %7s\n",
+			"Strategy", "Mode", "Bytes", "Saved", "Elided", "Xfer", "Local", "Holder")
+		for _, s := range dedupStrategies {
+			for _, m := range dedupModes {
+				var row *DedupRow
+				for i := range t.Rows {
+					r := &t.Rows[i]
+					if r.Kind == kind && r.Strategy == s && r.Mode == m.Name {
+						row = r
+						break
+					}
+				}
+				if row == nil {
+					continue
+				}
+				saved := "-"
+				if bx := base[kind][s]; bx > 0 && row.Mode != "off" {
+					saved = fmt.Sprintf("%.1f%%", 100*(1-float64(row.Bytes)/float64(bx)))
+				}
+				fmt.Fprintf(&b, "%12s %-11s %10d %7s %7d %10s %7d %7d\n",
+					s, row.Mode, row.Bytes, saved, row.Elided,
+					row.Xfer.Round(time.Millisecond), row.Local, row.Holder)
+			}
+		}
+	}
+
+	if len(t.Holder) > 0 {
+		fmt.Fprintf(&b, "\nNearest-holder faults: pure-IOU over a slow origin link, bystander holds the content\n\n")
+		fmt.Fprintf(&b, "%-16s %12s %12s %7s %7s\n", "Mode", "FaultMean", "FaultP95", "Local", "Holder")
+		for _, r := range t.Holder {
+			fmt.Fprintf(&b, "%-16s %12s %12s %7d %7d\n",
+				r.Mode, r.FaultMean.Round(time.Microsecond), r.FaultP95.Round(time.Microsecond),
+				r.Local, r.Holder)
+		}
+		if len(t.Holder) == 2 && t.Holder[1].FaultMean > 0 {
+			fmt.Fprintf(&b, "stall improvement: %.2fx\n",
+				float64(t.Holder[0].FaultMean)/float64(t.Holder[1].FaultMean))
+		}
+	}
+	return b.String()
+}

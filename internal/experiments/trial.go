@@ -10,6 +10,7 @@ import (
 
 	"accentmig/internal/core"
 	"accentmig/internal/faults"
+	"accentmig/internal/ipc"
 	"accentmig/internal/machine"
 	"accentmig/internal/metrics"
 	"accentmig/internal/netlink"
@@ -98,6 +99,9 @@ func NewTestbed(cfg Config) *Testbed {
 	dstMgr := core.NewManager(dst, cfg.tuning())
 	src.Net.AddRoute(dstMgr.Port.ID, "dst")
 	dst.Net.AddRoute(srcMgr.Port.ID, "src")
+	if cfg.Machine.Dedup.Enabled {
+		WireHolderResolvers(src, dst)
+	}
 	tb := &Testbed{
 		K: k, Src: src, Dst: dst, SrcMgr: srcMgr, DstMgr: dstMgr, Link: link, Rec: rec,
 		phaseCrash: make(map[string][]faults.Crash),
@@ -106,6 +110,34 @@ func NewTestbed(cfg Config) *Testbed {
 		tb.ArmFaults(cfg.Faults)
 	}
 	return tb
+}
+
+// WireHolderResolvers gives each machine a nearest-holder resolver
+// over the others: a fault on a hash-hinted page that misses the local
+// content index asks the first listed peer whose index holds the
+// content, falling back to the origin backer when none does. Order the
+// machines nearest-first — a resolver is topology, not tuning, which
+// is why testbeds wire it rather than machine config. Backer-port
+// routes are added eagerly; they are otherwise only learned from IOU
+// attachments, which never name a bystander holder.
+func WireHolderResolvers(ms ...*machine.Machine) {
+	for i, m := range ms {
+		peers := make([]*machine.Machine, 0, len(ms)-1)
+		for j, o := range ms {
+			if j != i {
+				peers = append(peers, o)
+				m.Net.AddRoute(o.Net.BackingPort(), o.Name)
+			}
+		}
+		m.Pager.SetHolderResolver(func(hash uint64) (ipc.PortID, bool) {
+			for _, o := range peers {
+				if o.Index.Contains(hash) {
+					return o.Net.BackingPort(), true
+				}
+			}
+			return 0, false
+		})
+	}
 }
 
 // ArmFaults applies a fault plan to the testbed: the drop schedule

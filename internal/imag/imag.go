@@ -33,7 +33,28 @@ const (
 	// (dead segment, page not held) so it stops retrying. Body:
 	// *ReadError.
 	OpReadError = 0x1006
+	// OpHashRead asks any content-index holder — not necessarily the
+	// origin backer — for the page whose content hash it names. A hit
+	// answers with a normal OpReadReply stamped with the requester's
+	// segment and page (so the faulter's reply path is unchanged); a
+	// miss answers OpReadError and the faulter falls back to the origin
+	// backer. Body: *HashRead.
+	OpHashRead = 0x1007
 )
+
+// HashRead is the body of a content-addressed fault: fetch the page
+// named Hash from whichever machine holds it. SegID and Page identify
+// where the requester will install the bytes; the holder echoes them
+// on the reply, which is how a reply about content gets routed back
+// into an address space.
+type HashRead struct {
+	Hash  uint64
+	SegID uint64
+	Page  uint64
+}
+
+// HashReadBytes is the encoded size of a HashRead body.
+const HashReadBytes = 32
 
 // ReadRequest is the body of an imaginary fault message.
 type ReadRequest struct {

@@ -94,6 +94,15 @@ type MemAttachment struct {
 	Runs []vm.PageRun
 	Copy bool // per-attachment NoIOU: intermediaries must not replace this data with an IOU
 
+	// CompBytes, when positive, is the modeled post-compression size of
+	// the attachment's payload: WireBytes prices the payload at this
+	// size instead of DataBytes. Set by the content-addressed store's
+	// compression model; zero means uncompressed. Intermediaries
+	// preserve it. Kernel copy costs (transferCPU) still see the raw
+	// bytes — compression is a wire-format property, not an
+	// address-space one.
+	CompBytes int
+
 	// AttachIOU fields.
 	SegID   uint64 // backing segment identity at the backer
 	SegOff  uint64 // offset of VA within that segment
@@ -168,8 +177,14 @@ func (m *Message) WireBytes() int {
 		case AttachData:
 			// Accounting stays per-page even though transfer is
 			// run-batched: the wire estimate charges one page header per
-			// page, as the calibrated model always has.
-			n += dataDescBytes + a.PageCount()*pageImageHeader + a.DataBytes()
+			// page, as the calibrated model always has. A modeled
+			// compressed size, when set, replaces the raw payload (the
+			// headers still ship uncompressed).
+			payload := a.DataBytes()
+			if a.CompBytes > 0 {
+				payload = a.CompBytes
+			}
+			n += dataDescBytes + a.PageCount()*pageImageHeader + payload
 		case AttachIOU:
 			n += iouDescBytes
 		}

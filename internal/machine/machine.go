@@ -38,6 +38,10 @@ type Config struct {
 	IPC      ipc.Config
 	Pager    pager.Config
 	Net      netmsg.Config
+	// Dedup configures the content-addressed page store. Disabled by
+	// default; the machine then carries no content index and every data
+	// path is byte-identical to a build without the store.
+	Dedup vm.DedupConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +57,9 @@ func (c Config) withDefaults() Config {
 	c.IPC.PageSize = c.PageSize
 	if c.Net.FragBytes == 0 {
 		c.Net.FragBytes = c.PageSize
+	}
+	if c.Dedup.Enabled {
+		c.Dedup = c.Dedup.WithDefaults()
 	}
 	return c
 }
@@ -143,6 +150,9 @@ type Machine struct {
 	// Pool recycles page frames across the machine's processes: frames
 	// freed by excision or segment death back later materializations.
 	Pool *vm.FramePool
+	// Index is the machine's content index: hash → one resident copy of
+	// those page bytes. Nil unless Config.Dedup.Enabled.
+	Index *vm.ContentIndex
 
 	cfg   Config
 	rec   *metrics.Recorder
@@ -171,6 +181,11 @@ func New(k *sim.Kernel, name string, cfg Config) *Machine {
 		cfg:   cfg,
 		procs: make(map[string]*Process),
 	}
+	if cfg.Dedup.Enabled {
+		m.Index = vm.NewContentIndex(cfg.PageSize)
+		srv.SetContentIndex(m.Index, cfg.Dedup.HashPerPageCPU)
+		pg.SetContentIndex(m.Index, cfg.Dedup)
+	}
 	srv.Start()
 	return m
 }
@@ -184,6 +199,15 @@ func Connect(a, b *Machine, cfg netlink.Config) *netlink.Link {
 
 // PageSize reports the machine's page size.
 func (m *Machine) PageSize() int { return m.cfg.PageSize }
+
+// DedupConfig reports the content-addressed store configuration
+// (zero-valued when the store is disabled).
+func (m *Machine) DedupConfig() vm.DedupConfig { return m.cfg.Dedup }
+
+// NetConfig reports the machine's network-server configuration (with
+// defaults applied), so protocol layers can predict transport decisions
+// — e.g. which attachments the server will absorb as IOUs.
+func (m *Machine) NetConfig() netmsg.Config { return m.cfg.Net }
 
 // SetRecorder points the machine's metric producers at rec. CPU
 // scheduling waits feed the recorder's "wait.cpu" distribution.

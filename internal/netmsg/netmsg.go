@@ -17,6 +17,7 @@ import (
 	"accentmig/internal/netlink"
 	"accentmig/internal/obs"
 	"accentmig/internal/sim"
+	"accentmig/internal/vm"
 	"accentmig/internal/wire"
 )
 
@@ -130,6 +131,16 @@ func (c Config) FragsFor(n int) int {
 	return wire.FragCount(n, c.FragBytes, c.FragHeadroom)
 }
 
+// WillAbsorb reports whether forward would absorb a data attachment
+// with the given Copy flag and page count from a message with the given
+// NoIOUs flag — the §2.4 own-initiative caching decision, exposed so
+// protocol layers (the dedup manifest) can predict which attachments
+// will physically ship. It must mirror forward's test exactly.
+func (c Config) WillAbsorb(copyFlag, noIOUs bool, pages int) bool {
+	c = c.withDefaults()
+	return !c.DisableIOUCache && !noIOUs && !copyFlag && pages >= c.CacheMinPages
+}
+
 // Stats counts server activity.
 type Stats struct {
 	Forwarded   uint64 // messages sent to peers
@@ -137,6 +148,7 @@ type Stats struct {
 	DeadLetters uint64 // inbound messages with no local port or route
 	CachedPages uint64 // pages absorbed into the IOU cache
 	Served      uint64 // read requests answered from the cache
+	HashServed  uint64 // content-addressed reads answered from the index
 	Retransmits uint64 // frames resent after injected loss
 	Lost        uint64 // messages abandoned after the peer was declared dead
 
@@ -171,6 +183,13 @@ type Server struct {
 
 	store    *imag.Store
 	backPort *ipc.Port
+
+	// index is the machine's content index (nil when the dedup store is
+	// disabled). The server registers every page it absorbs, making its
+	// IOU cache — the pages a migrated-away process left behind —
+	// discoverable by hash, and answers OpHashRead against it.
+	index      *vm.ContentIndex
+	hashPerCPU time.Duration
 
 	rec   *metrics.Recorder
 	stats Stats
@@ -230,6 +249,15 @@ func (s *Server) Store() *imag.Store { return s.store }
 
 // SetRecorder directs metrics to rec (may be nil).
 func (s *Server) SetRecorder(rec *metrics.Recorder) { s.rec = rec }
+
+// SetContentIndex attaches the machine's content index; absorbed pages
+// are registered in it (charging hashPerPageCPU each) and OpHashRead
+// requests are answered from it. A nil index keeps the server's paths
+// byte-identical to a build without the dedup store.
+func (s *Server) SetContentIndex(ix *vm.ContentIndex, hashPerPageCPU time.Duration) {
+	s.index = ix
+	s.hashPerCPU = hashPerPageCPU
+}
 
 // Stats returns a copy of the counters.
 func (s *Server) Stats() Stats { return s.stats }
@@ -531,6 +559,21 @@ func (s *Server) absorb(p *sim.Proc, a *ipc.MemAttachment) *ipc.MemAttachment {
 	pages := a.PageCount()
 	s.cpu.UseHigh(p, time.Duration(pages)*s.cfg.CachePerPageCPU)
 	s.stats.CachedPages += uint64(pages)
+	if s.index != nil {
+		// Register absorbed contents so a later migration (or a nearest-
+		// holder fault from anywhere) can discover the pages this machine
+		// now backs — they are the "surviving from a prior visit" case.
+		ps := s.cfg.FragBytes
+		for _, run := range a.Runs {
+			for i := 0; i < run.Count; i++ {
+				pg := run.Page(i, ps)
+				if h, zero := vm.HashPage(pg, ps); !zero {
+					s.index.Put(h, pg)
+				}
+			}
+		}
+		s.cpu.UseHigh(p, time.Duration(pages)*s.hashPerCPU)
+	}
 	return &ipc.MemAttachment{
 		Kind:      ipc.AttachIOU,
 		VA:        a.VA,
@@ -657,6 +700,43 @@ func (s *Server) backer(p *sim.Proc) {
 				continue
 			}
 			s.reply(p, m, imag.OpReadReply, rep, false)
+		case imag.OpHashRead:
+			req, ok := m.Body.(*imag.HashRead)
+			if !ok {
+				continue
+			}
+			s.cpu.UseHigh(p, s.cfg.ServeCPU)
+			data, held := s.index.Lookup(req.Hash)
+			if !held {
+				s.replyErr(p, m, &imag.ReadError{
+					SegID:   req.SegID,
+					PageIdx: req.Page,
+					Reason:  "content not held",
+				})
+				continue
+			}
+			s.stats.HashServed++
+			if s.rec != nil {
+				s.rec.Inc("pages.shipped.fault", 1)
+				s.rec.Inc("pages.served.holder", 1)
+			}
+			if s.k.Tracing() {
+				s.k.Emit(obs.Event{
+					Kind:    obs.PageTransfer,
+					Machine: s.name,
+					Proc:    p.Name(),
+					Name:    "fault",
+					Bytes:   len(data),
+					Op:      imag.OpReadReply,
+				})
+			}
+			// The reply is a normal read reply stamped with the
+			// requester's segment and page, so the faulter's install
+			// path cannot tell content routing from origin backing.
+			s.reply(p, m, imag.OpReadReply, &imag.ReadReply{
+				SegID: req.SegID,
+				Runs:  []vm.PageRun{{Index: req.Page, Count: 1, Data: data}},
+			}, false)
 		case imag.OpFlush:
 			req, ok := m.Body.(*imag.FlushRequest)
 			if !ok {

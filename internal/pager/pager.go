@@ -119,6 +119,10 @@ type Stats struct {
 	PrefetchHits    uint64 // prefetched pages later touched
 	StreamedPages   uint64 // prefetch replies that arrived as background stream messages
 	StreamWaits     uint64 // faults parked on an in-flight streamed page
+
+	// Content-addressed store counters (dedup enabled only).
+	LocalServes  uint64 // imaginary faults satisfied from the local content index
+	HolderServes uint64 // imaginary faults satisfied by a nearest-holder fetch
 }
 
 // HitRatio reports the fraction of prefetched pages that were
@@ -162,6 +166,18 @@ type Pager struct {
 	streamInFlight int
 	streamPending  map[pageKey]bool
 	streamWaiters  map[pageKey][]*sim.Queue[struct{}]
+
+	// Content-addressed fault serving (dedup enabled only; all nil/zero
+	// otherwise). hints remembers the content hash of still-owed
+	// imaginary pages, registered at process insertion from the
+	// migration manifest. index is the machine's content index. resolver
+	// maps a hash to the backing port of the nearest machine holding
+	// that content (nearest by link cost; wired by the testbed), letting
+	// a fault bypass a distant origin backer.
+	index    *vm.ContentIndex
+	dedup    vm.DedupConfig
+	hints    map[pageKey]uint64
+	resolver func(hash uint64) (ipc.PortID, bool)
 }
 
 type pageKey struct {
@@ -201,6 +217,35 @@ func (pg *Pager) Outstanding() int {
 
 // SetRecorder directs counters to rec (may be nil).
 func (pg *Pager) SetRecorder(rec *metrics.Recorder) { pg.rec = rec }
+
+// SetContentIndex attaches the machine's content index and the dedup
+// cost knobs; faults on hinted pages may then be served locally.
+func (pg *Pager) SetContentIndex(ix *vm.ContentIndex, cfg vm.DedupConfig) {
+	pg.index = ix
+	pg.dedup = cfg
+}
+
+// SetHolderResolver installs the nearest-holder lookup: given a content
+// hash, return the backing port of the closest machine (by link cost)
+// whose index holds it. Wired by testbeds, not by machine config — a
+// resolver is topology, not tuning.
+func (pg *Pager) SetHolderResolver(fn func(hash uint64) (ipc.PortID, bool)) {
+	pg.resolver = fn
+}
+
+// RegisterHint remembers the content hash of a still-owed imaginary
+// page, so a later fault on it can consult the content index before
+// buying a wire round trip. Zero-page hints are not retained: elided
+// zero pages are reconstructed at insertion and never fault.
+func (pg *Pager) RegisterHint(segID, pageIdx, hash uint64) {
+	if hash == vm.ZeroHash {
+		return
+	}
+	if pg.hints == nil {
+		pg.hints = make(map[pageKey]uint64)
+	}
+	pg.hints[pageKey{segID, pageIdx}] = hash
+}
 
 // Stats returns a copy of the fault counters.
 func (pg *Pager) Stats() Stats { return pg.stats }
@@ -377,6 +422,16 @@ func (pg *Pager) insert(seg *vm.Segment, idx uint64) {
 func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
 	pg.stats.ImagFaults++
 	pg.inc("fault.imag")
+	if h, hinted := pg.hints[pageKey{pl.Seg.ID, pl.PageIdx}]; hinted &&
+		!pg.streamPending[pageKey{pl.Seg.ID, pl.PageIdx}] {
+		// The page's content is known by hash: try the local content
+		// index (zero wire cost), then the nearest holder (one short
+		// round trip to a closer machine than the origin backer). Either
+		// failure falls through to the ordinary origin-backer request.
+		if pg.contentFault(p, pl, h) {
+			return nil
+		}
+	}
 	if pg.streamPending[pageKey{pl.Seg.ID, pl.PageIdx}] {
 		// The page is already on the wire inside an in-flight split
 		// reply: park until the stream delivers it. The residual wait is
@@ -490,6 +545,17 @@ func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
 			pl.Seg.Materialize(idx, run.Page(j, ps))
 			pg.cpu.UseHigh(p, pg.cfg.MapInCPU)
 			pg.insert(pl.Seg, idx)
+			if pg.index != nil {
+				// The page's content is now local: index it under its
+				// manifest hash so duplicate content faults stop paying
+				// for the wire.
+				if hh, hinted := pg.hints[pageKey{pl.Seg.ID, idx}]; hinted {
+					if page := pl.Seg.Page(idx); page != nil {
+						pg.index.Put(hh, page.Data)
+					}
+					delete(pg.hints, pageKey{pl.Seg.ID, idx})
+				}
+			}
 			if !first && idx != pl.PageIdx {
 				pg.stats.PrefetchedPages++
 				pg.prefetched[pageKey{pl.Seg.ID, idx}] = true
@@ -507,6 +573,68 @@ func (pg *Pager) imagFault(p *sim.Proc, pl vm.Place) error {
 		}
 	}
 	return nil
+}
+
+// contentFault tries to satisfy an imaginary fault by content instead
+// of by origin: first the local index (a frame copy, no wire), then a
+// HashRead to the nearest holder the resolver names. It reports whether
+// the page was installed; false means the caller proceeds with the
+// ordinary backing-port request.
+func (pg *Pager) contentFault(p *sim.Proc, pl vm.Place, h uint64) bool {
+	key := pageKey{pl.Seg.ID, pl.PageIdx}
+	if data, hit := pg.index.Lookup(h); hit {
+		pg.cpu.UseHigh(p, pg.cfg.FaultCPU+pg.dedup.LocalServeCPU+pg.cfg.MapInCPU)
+		pl.Seg.Materialize(pl.PageIdx, data)
+		pg.insert(pl.Seg, pl.PageIdx)
+		delete(pg.hints, key)
+		pg.stats.LocalServes++
+		pg.inc("fault.served.local")
+		return true
+	}
+	if pg.resolver == nil {
+		return false
+	}
+	port, ok := pg.resolver(h)
+	if !ok || port == ipc.PortID(pl.Seg.BackingPort) {
+		return false
+	}
+	pg.cpu.UseHigh(p, pg.cfg.FaultCPU+pg.cfg.ImagCPU)
+	reply := pg.sys.AllocPort("hash-reply")
+	defer pg.sys.RemovePort(reply)
+	err := pg.sys.Send(p, &ipc.Message{
+		Op:           imag.OpHashRead,
+		To:           port,
+		ReplyTo:      reply.ID,
+		Body:         &imag.HashRead{Hash: h, SegID: pl.Seg.ID, Page: pl.PageIdx},
+		BodyBytes:    imag.HashReadBytes,
+		FaultSupport: true,
+	})
+	if err != nil {
+		return false
+	}
+	var rep *ipc.Message
+	if pg.cfg.RetryTimeout > 0 {
+		var got bool
+		if rep, got = pg.sys.ReceiveTimeout(p, reply, pg.cfg.RetryTimeout); !got {
+			return false // one shot only; the origin path owns retries
+		}
+	} else {
+		rep = pg.sys.Receive(p, reply)
+	}
+	body, ok := rep.Body.(*imag.ReadReply)
+	if rep.Op != imag.OpReadReply || !ok || body.PageCount() == 0 {
+		return false
+	}
+	pl.Seg.Materialize(pl.PageIdx, body.Runs[0].Page(0, pl.Seg.PageSize()))
+	pg.cpu.UseHigh(p, pg.cfg.MapInCPU)
+	pg.insert(pl.Seg, pl.PageIdx)
+	if page := pl.Seg.Page(pl.PageIdx); page != nil {
+		pg.index.Put(h, page.Data)
+	}
+	delete(pg.hints, key)
+	pg.stats.HolderServes++
+	pg.inc("fault.served.holder")
+	return true
 }
 
 // ensureStreamRecv lazily allocates the stream port and spawns the

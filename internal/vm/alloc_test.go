@@ -119,6 +119,36 @@ func TestAllocsAMapRebuildUnchanged(t *testing.T) {
 	}
 }
 
+func TestAllocsDedupOff(t *testing.T) {
+	// With the content-addressed store disabled, a machine carries a nil
+	// ContentIndex and every dedup-aware call site degrades to a nil
+	// check: the warm materialize/touch path must stay allocation-free
+	// with those calls present, proving hashing and indexing are off the
+	// hot path rather than merely cheap.
+	as, reg, phys := warmSpace(t, 64)
+	ps := Addr(as.PageSize())
+	var ix *ContentIndex // the disabled store
+	data := []byte("refill")
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		addr := Addr(i%64) * ps
+		pl, ok := as.Resolve(addr)
+		if !ok {
+			t.Fatal("resolve failed")
+		}
+		phys.Touch(pl.Seg, pl.PageIdx)
+		pg := reg.Seg.Materialize(uint64(i%64), data)
+		ix.Put(42, pg.Data)
+		if _, hit := ix.Lookup(42); hit {
+			t.Fatal("disabled index hit")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-store hot path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestAllocsSegmentReadMissingPage(t *testing.T) {
 	seg := NewSegment("sparse", 16*DefaultPageSize, DefaultPageSize)
 	allocs := testing.AllocsPerRun(200, func() {

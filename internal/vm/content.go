@@ -1,0 +1,91 @@
+package vm
+
+// ContentIndex is a per-machine map from page-content hash to one
+// resident copy of those bytes. Entries alias live frames (netmsg
+// store runs, freshly inserted segment pages) rather than copying
+// them: the index costs one map slot per distinct page content, never
+// a frame. Because frames are pooled and recycled, an entry can go
+// stale — Lookup re-hashes the remembered bytes and drops the entry on
+// mismatch, so a stale alias degrades to a miss, never to wrong data.
+//
+// A nil *ContentIndex is valid and inert: every method no-ops or
+// misses. Machines with the dedup store disabled carry a nil index, so
+// the hot paths stay free of both hashing and map traffic.
+type ContentIndex struct {
+	pageSize int
+	entries  map[uint64][]byte
+	stats    ContentIndexStats
+}
+
+// ContentIndexStats counts index traffic for reports and benchmarks.
+type ContentIndexStats struct {
+	Puts   uint64 // entries inserted or refreshed
+	Hits   uint64 // verified lookups
+	Misses uint64 // absent hashes
+	Stale  uint64 // entries dropped because the aliased frame changed
+}
+
+// NewContentIndex creates an index for pages of the given size.
+func NewContentIndex(pageSize int) *ContentIndex {
+	return &ContentIndex{
+		pageSize: pageSize,
+		entries:  make(map[uint64][]byte),
+	}
+}
+
+// Put records data as a resident copy of the page named hash. The
+// bytes are aliased, not copied. The zero sentinel is never stored:
+// zero pages are reconstructable everywhere by definition.
+func (ix *ContentIndex) Put(hash uint64, data []byte) {
+	if ix == nil || hash == ZeroHash || len(data) == 0 {
+		return
+	}
+	ix.stats.Puts++
+	ix.entries[hash] = data
+}
+
+// Lookup returns verified bytes for hash, re-hashing the remembered
+// frame to guard against pool recycling. A failed verification deletes
+// the entry and reports a miss.
+func (ix *ContentIndex) Lookup(hash uint64) ([]byte, bool) {
+	if ix == nil || hash == ZeroHash {
+		return nil, false
+	}
+	data, ok := ix.entries[hash]
+	if !ok {
+		ix.stats.Misses++
+		return nil, false
+	}
+	if h, _ := HashPage(data, ix.pageSize); h != hash {
+		delete(ix.entries, hash)
+		ix.stats.Stale++
+		ix.stats.Misses++
+		return nil, false
+	}
+	ix.stats.Hits++
+	return data, true
+}
+
+// Contains reports whether the index holds a verified copy of hash. It
+// shares Lookup's verification (and its stats) so a resolver asking
+// "who holds this page" never routes a fault at a stale frame.
+func (ix *ContentIndex) Contains(hash uint64) bool {
+	_, ok := ix.Lookup(hash)
+	return ok
+}
+
+// Len reports the number of indexed contents.
+func (ix *ContentIndex) Len() int {
+	if ix == nil {
+		return 0
+	}
+	return len(ix.entries)
+}
+
+// Stats returns a snapshot of index traffic.
+func (ix *ContentIndex) Stats() ContentIndexStats {
+	if ix == nil {
+		return ContentIndexStats{}
+	}
+	return ix.stats
+}

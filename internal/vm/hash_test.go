@@ -1,0 +1,138 @@
+package vm
+
+import "testing"
+
+func TestHashPageZeroDetection(t *testing.T) {
+	zero := make([]byte, DefaultPageSize)
+	h, isZero := HashPage(zero, DefaultPageSize)
+	if !isZero || h != ZeroHash {
+		t.Fatalf("all-zero page: got hash %#x zero=%v, want sentinel", h, isZero)
+	}
+	// A short slice of zeros and a nil slice are the same zero page.
+	if h, isZero := HashPage(nil, DefaultPageSize); !isZero || h != ZeroHash {
+		t.Fatalf("nil page: got hash %#x zero=%v", h, isZero)
+	}
+	if h, isZero := HashPage(zero[:17], DefaultPageSize); !isZero || h != ZeroHash {
+		t.Fatalf("short zero page: got hash %#x zero=%v", h, isZero)
+	}
+}
+
+func TestHashPagePaddingInvariance(t *testing.T) {
+	// A partial final-page slice must hash identically to the full
+	// page-size image with a zeroed tail (Materialize clears tails, so
+	// both representations of the same page coexist in the system).
+	short := []byte("the last page is partial")
+	full := make([]byte, DefaultPageSize)
+	copy(full, short)
+	hs, _ := HashPage(short, DefaultPageSize)
+	hf, _ := HashPage(full, DefaultPageSize)
+	if hs != hf {
+		t.Fatalf("partial page hash %#x != padded page hash %#x", hs, hf)
+	}
+	if hs == ZeroHash {
+		t.Fatal("non-zero page hashed to the zero sentinel")
+	}
+}
+
+func TestHashPageDistinguishesContent(t *testing.T) {
+	a := make([]byte, DefaultPageSize)
+	b := make([]byte, DefaultPageSize)
+	for i := range a {
+		a[i] = byte(i * 7)
+		b[i] = byte(i * 7)
+	}
+	b[100]++
+	ha, _ := HashPage(a, DefaultPageSize)
+	hb, _ := HashPage(b, DefaultPageSize)
+	if ha == hb {
+		t.Fatal("one-byte difference produced identical hashes")
+	}
+}
+
+func TestHashRun(t *testing.T) {
+	ps := DefaultPageSize
+	data := make([]byte, 3*ps)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	r := PageRun{Index: 5, Count: 3, Data: data}
+	hs := HashRun(nil, r, ps)
+	if len(hs) != 3 {
+		t.Fatalf("got %d entries, want 3", len(hs))
+	}
+	for i, ph := range hs {
+		if ph.Index != 5+uint64(i) {
+			t.Errorf("entry %d index %d, want %d", i, ph.Index, 5+i)
+		}
+		want, _ := HashPage(data[i*ps:(i+1)*ps], ps)
+		if ph.Hash != want {
+			t.Errorf("entry %d hash mismatch", i)
+		}
+	}
+}
+
+func TestModelCompressedSize(t *testing.T) {
+	ps := DefaultPageSize
+	linear := make([]byte, ps)
+	for i := range linear {
+		linear[i] = byte(i * 7) // constant stride: the workload fill idiom
+	}
+	if got := ModelCompressedSize(linear, ps); got >= ps/4 {
+		t.Errorf("linear page models as %d bytes, want well under %d", got, ps/4)
+	}
+	noisy := make([]byte, ps)
+	h := uint64(fnvOffset64)
+	for i := range noisy {
+		h = h*6364136223846793005 + 1442695040888963407
+		noisy[i] = byte(h >> 56)
+	}
+	if got := ModelCompressedSize(noisy, ps); got != ps {
+		t.Errorf("pseudo-random page models as %d bytes, want incompressible %d", got, ps)
+	}
+	if got := ModelCompressedSize(nil, ps); got != 0 {
+		t.Errorf("empty image models as %d bytes, want 0", got)
+	}
+}
+
+func TestContentIndexLookupVerifies(t *testing.T) {
+	ps := DefaultPageSize
+	ix := NewContentIndex(ps)
+	frame := make([]byte, ps)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	h, _ := HashPage(frame, ps)
+	ix.Put(h, frame)
+	if got, ok := ix.Lookup(h); !ok || &got[0] != &frame[0] {
+		t.Fatal("lookup of live entry failed")
+	}
+	// Recycle the frame under the index's feet: the entry must degrade
+	// to a miss, not serve wrong bytes.
+	frame[0] ^= 0xFF
+	if _, ok := ix.Lookup(h); ok {
+		t.Fatal("lookup served a stale frame")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("stale entry not evicted: len %d", ix.Len())
+	}
+	st := ix.Stats()
+	if st.Stale != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 1 hit and 1 stale", st)
+	}
+}
+
+func TestContentIndexNilAndZero(t *testing.T) {
+	var ix *ContentIndex
+	ix.Put(42, []byte{1})
+	if _, ok := ix.Lookup(42); ok {
+		t.Fatal("nil index hit")
+	}
+	if ix.Len() != 0 || ix.Contains(42) {
+		t.Fatal("nil index not inert")
+	}
+	live := NewContentIndex(DefaultPageSize)
+	live.Put(ZeroHash, make([]byte, DefaultPageSize))
+	if live.Len() != 0 {
+		t.Fatal("zero sentinel was stored")
+	}
+}

@@ -105,3 +105,74 @@ func COWBreak(b *testing.B) {
 		}
 	}
 }
+
+// PageHash measures naming one page for the content-addressed store:
+// a single FNV-1a pass over a full 512-byte image. This is the
+// per-page cost of building a migration manifest and of every
+// verify-on-lookup re-hash, so it bounds how cheaply elision can ever
+// break even. Must be zero-alloc.
+func PageHash(b *testing.B) {
+	page := make([]byte, vm.DefaultPageSize)
+	for i := range page {
+		page[i] = byte(i*31 + 7)
+	}
+	var sink uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, zero := vm.HashPage(page, vm.DefaultPageSize)
+		if zero {
+			b.Fatal("patterned page hashed as zero")
+		}
+		sink += h
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Log("hash sink zero") // keep the loop body live
+	}
+}
+
+// ContentIndexHit measures a verified index lookup: the map probe plus
+// the guard re-hash of the remembered frame. This is the destination's
+// per-page cost of classifying a manifest against content it already
+// holds. Must be zero-alloc.
+func ContentIndexHit(b *testing.B) {
+	const pages = 256
+	ix := vm.NewContentIndex(vm.DefaultPageSize)
+	hashes := make([]uint64, pages)
+	for p := 0; p < pages; p++ {
+		data := make([]byte, vm.DefaultPageSize)
+		for i := range data {
+			data[i] = byte(p*31 + i*7 + 1)
+		}
+		h, _ := vm.HashPage(data, vm.DefaultPageSize)
+		ix.Put(h, data)
+		hashes[p] = h
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ix.Lookup(hashes[i%pages]); !ok {
+			b.Fatal("warm lookup missed")
+		}
+	}
+}
+
+// ContentIndexMiss measures an absent-hash probe: the map miss every
+// never-seen page pays during classification. Must be zero-alloc.
+func ContentIndexMiss(b *testing.B) {
+	ix := vm.NewContentIndex(vm.DefaultPageSize)
+	data := make([]byte, vm.DefaultPageSize)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	h, _ := vm.HashPage(data, vm.DefaultPageSize)
+	ix.Put(h, data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ix.Lookup(h ^ uint64(i) | 2); ok {
+			b.Fatal("absent hash hit")
+		}
+	}
+}

@@ -135,6 +135,7 @@ func encodeAttachment(w *buf, a *ipc.MemAttachment) {
 	w.u64(a.SegOff)
 	w.u64(a.SegSize)
 	w.u64(uint64(a.Backing))
+	w.u32(uint32(a.CompBytes))
 	w.u32(uint32(len(a.Runs)))
 	for _, run := range a.Runs {
 		w.u64(run.Index)
@@ -206,6 +207,7 @@ func decodeAttachment(r *rdr) *ipc.MemAttachment {
 		SegSize:   r.u64(),
 		Backing:   ipc.PortID(r.u64()),
 	}
+	a.CompBytes = int(r.u32())
 	n := int(r.u32())
 	for i := 0; i < n; i++ {
 		idx := r.u64()
@@ -365,6 +367,23 @@ func init() {
 				PageIdx: r.u64(),
 				Reason:  r.str(),
 			}, nil
+		},
+	})
+	RegisterBody(imag.OpHashRead, BodyCodec{
+		Encode: func(v any) ([]byte, []any, error) {
+			h, ok := v.(*imag.HashRead)
+			if !ok {
+				return nil, nil, fmt.Errorf("want *imag.HashRead, got %T", v)
+			}
+			w := &buf{}
+			w.u64(h.Hash)
+			w.u64(h.SegID)
+			w.u64(h.Page)
+			return w.b, nil, nil
+		},
+		Decode: func(b []byte, _ []any) (any, error) {
+			r := &rdr{b: b}
+			return &imag.HashRead{Hash: r.u64(), SegID: r.u64(), Page: r.u64()}, nil
 		},
 	})
 	RegisterBody(imag.OpFlush, BodyCodec{
