@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke identity report bench clean
+.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke identity report bench clean
 
 all: build
 
@@ -16,7 +16,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke identity
+check: build vet test race faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke identity
 
 # Fault-injection determinism gate: the resilience experiment — lossy
 # sweeps, crashes, a partition — must be byte-identical across two
@@ -60,6 +60,15 @@ dedupsmoke:
 	$(GO) test -count=1 -run 'TestAllocsDedupOff' -v ./internal/vm/ | grep -v '^=== RUN'
 	$(GO) run ./cmd/migsim -exp dedup -kinds Minprog,Lisp-Del > /dev/null
 	@echo "dedupsmoke: store sweep and nearest-holder comparison run"
+
+# Chaos smoke gate: a bounded 32-seed randomized fault campaign
+# (loss/burst/partition/corruption x strategy x window x dedup mode)
+# must uphold every invariant — golden image identity, no orphaned
+# IOUs, no leaked frames, blame summing to 1, bounded downtime — and
+# the resume and ledger-rollback regression tests must pass.
+chaossmoke:
+	$(GO) test -count=1 -run 'TestChaosSmoke|TestResumeRetrySavesBytes|TestManifestCrash' -v ./internal/experiments/ | grep -v '^=== RUN'
+	@echo "chaossmoke: 32-seed campaign holds all invariants"
 
 # Stop-and-wait identity gate: with the pipelined transport merged, the
 # default configuration (W=1, K=1) must still produce byte-identical

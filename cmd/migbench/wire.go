@@ -1,13 +1,16 @@
 package main
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
 	"accentmig/internal/core"
+	"accentmig/internal/faults"
 	"accentmig/internal/machine"
 	"accentmig/internal/metrics"
 	"accentmig/internal/netlink"
@@ -53,6 +56,14 @@ type WireReport struct {
 	// by the store, net of its own manifest traffic.
 	DedupBytesSavedPct float64        `json:"dedup_bytes_saved_pct"`
 	DedupRows          []DedupWireRow `json:"dedup_rows"`
+
+	// Resume rows kill the same migration's first attempt past the
+	// halfway mark of the transfer and let a retry finish the job, with
+	// the delivery ledger off and on. ResumeBytesSavedPct is the retry
+	// cost headline: attempt-two wire bytes the ledger elided, net of
+	// the manifest traffic the resume path adds.
+	ResumeBytesSavedPct float64         `json:"resume_bytes_saved_pct"`
+	ResumeRows          []ResumeWireRow `json:"resume_rows"`
 }
 
 // DedupWireRow is one store mode's measured transfer.
@@ -118,6 +129,84 @@ func runDedupWireOnce(mode vm.DedupConfig) (DedupWireRow, error) {
 		Bytes:       rec.BytesTotal(),
 		ElidedPages: rep.Insert.ElidedPages,
 	}, nil
+}
+
+// ResumeWireRow is one ledger mode's measured retry.
+type ResumeWireRow struct {
+	Mode          string  `json:"mode"`           // "ledger-off" or "ledger-on"
+	Attempts      int     `json:"attempts"`       // migration attempts taken
+	TotalBytes    uint64  `json:"total_bytes"`    // wire bytes across all attempts
+	Attempt2Bytes uint64  `json:"attempt2_bytes"` // wire bytes the retry itself cost
+	ResumedPages  int     `json:"resumed_pages"`  // pages rebuilt from the ledger
+	HostWallMS    float64 `json:"host_wall_ms"`   // host time to simulate the run
+}
+
+// runResumeWireOnce simulates the 1 MB pure-copy migration with every
+// page's content distinct, under a partition that opens 32 s into the
+// run — past the halfway mark of the ~55 s stop-and-wait transfer —
+// and outlasts the transport's dead-peer horizon, killing attempt one.
+// maxRetries 0 measures attempt one alone (the migration aborts);
+// maxRetries above 0 lets the retry complete on the healed link.
+func runResumeWireOnce(resume bool, maxRetries int) (ResumeWireRow, error) {
+	k := sim.New()
+	mcfg := machine.Config{Dedup: vm.DedupConfig{Resume: resume}}
+	src := machine.New(k, "src", mcfg)
+	dst := machine.New(k, "dst", mcfg)
+	link := machine.Connect(src, dst, netlink.Config{})
+	link.SetFaults(faults.NewInjector(&faults.Plan{Seed: 1, Partitions: []faults.Window{{
+		Start: faults.Duration(32 * time.Second),
+		End:   faults.Duration(48 * time.Second),
+	}}}, ""))
+	rec := metrics.NewRecorder(time.Second)
+	src.SetRecorder(rec)
+	dst.SetRecorder(rec)
+	link.SetRecorder(rec)
+	srcM := core.NewManager(src, core.DefaultTuning())
+	dstM := core.NewManager(dst, core.DefaultTuning())
+	src.Net.AddRoute(dstM.Port.ID, "dst")
+	dst.Net.AddRoute(srcM.Port.ID, "src")
+
+	pr, err := src.NewProcess("job", 1)
+	if err != nil {
+		return ResumeWireRow{}, err
+	}
+	reg, err := pr.AS.Validate(0, wirePages*512, "data")
+	if err != nil {
+		return ResumeWireRow{}, err
+	}
+	for i := uint64(0); i < wirePages; i++ {
+		// Every page distinct — the index in the first bytes defeats the
+		// manifest's intra-transfer twin elision, so the wire carries the
+		// full image and only the ledger can shrink the retry.
+		buf := make([]byte, 512)
+		binary.LittleEndian.PutUint64(buf, i+1)
+		for j := 8; j < len(buf); j++ {
+			buf[j] = byte(int(i)*31 + j*7 + 1)
+		}
+		reg.Seg.Materialize(i, buf)
+	}
+	pr.Program = &trace.Program{Ops: []trace.Op{trace.MigratePoint{}}}
+	src.Start(pr)
+
+	var rep *core.Report
+	var migErr error
+	k.Go("driver", func(p *sim.Proc) {
+		rep, migErr = srcM.MigrateTo(p, "job", dstM.Port.ID, core.Options{
+			Strategy: core.PureCopy, HoldAtDest: true, WaitMigratePoint: true,
+			MaxRetries: maxRetries, AckTimeout: 15 * time.Minute,
+		})
+	})
+	k.Run()
+	row := ResumeWireRow{TotalBytes: rec.BytesTotal()}
+	if migErr != nil {
+		if maxRetries == 0 && errors.Is(migErr, core.ErrMigrationAborted) {
+			return row, nil // attempt-one baseline: the abort is the point
+		}
+		return ResumeWireRow{}, migErr
+	}
+	row.Attempts = rep.Attempts
+	row.ResumedPages = rep.Insert.ResumedPages
+	return row, nil
 }
 
 // runWireOnce simulates one pure-copy migration of a 1 MB process at
@@ -225,6 +314,31 @@ func runWireBenchmarks(path string) error {
 		report.DedupBytesSavedPct = 100 * (1 - float64(on)/float64(off))
 	}
 
+	// Retry cost: attempt-two bytes are the full run minus an identical
+	// run whose retry budget is zero, which aborts where attempt one
+	// died — both runs share every byte up to that instant.
+	for _, mode := range []bool{false, true} {
+		start := time.Now()
+		abort, err := runResumeWireOnce(mode, 0)
+		if err != nil {
+			return err
+		}
+		row, err := runResumeWireOnce(mode, 3)
+		if err != nil {
+			return err
+		}
+		row.Mode = "ledger-off"
+		if mode {
+			row.Mode = "ledger-on"
+		}
+		row.Attempt2Bytes = row.TotalBytes - abort.TotalBytes
+		row.HostWallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+		report.ResumeRows = append(report.ResumeRows, row)
+	}
+	if off, on := report.ResumeRows[0].Attempt2Bytes, report.ResumeRows[1].Attempt2Bytes; off > 0 {
+		report.ResumeBytesSavedPct = 100 * (1 - float64(on)/float64(off))
+	}
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -250,6 +364,14 @@ func runWireBenchmarks(path string) error {
 		fmt.Printf("%s %dB", r.Mode, r.Bytes)
 	}
 	fmt.Printf(") %.1f%% saved -> %s\n", report.DedupBytesSavedPct, path)
+	fmt.Printf("migbench: resume sweep (")
+	for i, r := range report.ResumeRows {
+		if i > 0 {
+			fmt.Printf(", ")
+		}
+		fmt.Printf("%s attempt2 %dB resumed %d", r.Mode, r.Attempt2Bytes, r.ResumedPages)
+	}
+	fmt.Printf(") %.1f%% saved -> %s\n", report.ResumeBytesSavedPct, path)
 	return nil
 }
 

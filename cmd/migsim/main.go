@@ -48,10 +48,11 @@ var experimentOrder = []string{
 
 // extraExperiments run only when named explicitly. The pipeline sweep
 // flips the transport out of its paper-faithful stop-and-wait default,
-// the dedup sweep turns on the content-addressed page store, and the
-// bottleneck sweep re-runs every cell traced, so all stay out of
+// the dedup sweep turns on the content-addressed page store, the
+// bottleneck sweep re-runs every cell traced, and the chaos campaign
+// runs hundreds of randomized fault trials, so all stay out of
 // -exp all to keep that output byte-identical across releases.
-var extraExperiments = []string{"pipeline", "dedup", "bottleneck"}
+var extraExperiments = []string{"pipeline", "dedup", "bottleneck", "chaos"}
 
 var tunables struct {
 	physFrames int
@@ -66,8 +67,13 @@ var tunables struct {
 	window      int
 	outstanding int
 
-	dedup    bool
-	compress bool
+	dedup     bool
+	compress  bool
+	resume    bool
+	integrity bool
+
+	chaosTrials int
+	seed        uint64
 
 	sink interface {
 		obs.Sink
@@ -89,6 +95,9 @@ func main() {
 	flag.IntVar(&tunables.outstanding, "outstanding", 0, "outstanding IOU page-run fetches per pager (0/1 = serial demand faults)")
 	flag.BoolVar(&tunables.dedup, "dedup", false, "enable the content-addressed page store (manifest elision + fault hints)")
 	flag.BoolVar(&tunables.compress, "compress", false, "enable the modeled wire compressor (implies -dedup)")
+	flag.BoolVar(&tunables.resume, "resume", false, "enable the delivery ledger: retries resume from pages an aborted attempt already delivered")
+	flag.BoolVar(&tunables.integrity, "integrity", false, "enable per-page checksums with targeted re-fetch of corrupt installs")
+	flag.IntVar(&tunables.chaosTrials, "chaos-trials", 200, "randomized fault trials for -exp chaos")
 	flag.BoolVar(&tunables.csv, "csv", false, "emit figure data as CSV instead of text")
 	trace := flag.String("trace", "", "write a flight-recorder trace of every simulation to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
@@ -110,6 +119,7 @@ func main() {
 	}
 
 	xrand.SetBaseSeed(*seed)
+	tunables.seed = *seed
 
 	kinds, err := parseKinds(*kindsFlag)
 	if err != nil {
@@ -230,6 +240,8 @@ func baseConfig() (experiments.Config, error) {
 		cfg.Machine.Dedup.Enabled = true
 		cfg.Machine.Dedup.Compress = tunables.compress
 	}
+	cfg.Machine.Dedup.Resume = tunables.resume
+	cfg.Machine.Dedup.Integrity = tunables.integrity
 	plan, err := faultPlan()
 	if err != nil {
 		return cfg, err
@@ -406,6 +418,15 @@ func run(id string, kinds []workload.Kind) error {
 			return err
 		}
 		fmt.Println(experiments.FormatBottleneck(rows))
+	case "chaos":
+		rep, err := experiments.Chaos(cfg, tunables.chaosTrials, tunables.seed+1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatChaos(rep))
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("chaos campaign found %d invariant violations", len(rep.Violations))
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

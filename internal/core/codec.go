@@ -363,6 +363,8 @@ func init() {
 			w.i64(int64(ab.Insert.IOURuns))
 			w.i64(int64(ab.Insert.ZeroRuns))
 			w.i64(int64(ab.Insert.ElidedPages))
+			w.i64(int64(ab.Insert.ResumedPages))
+			w.i64(int64(ab.Insert.RepairedPages))
 			w.str(ab.Err)
 			w.i64(int64(ab.Attempt))
 			return w.b, nil, nil
@@ -379,6 +381,8 @@ func init() {
 				ab.Insert.IOURuns = int(r.i64())
 				ab.Insert.ZeroRuns = int(r.i64())
 				ab.Insert.ElidedPages = int(r.i64())
+				ab.Insert.ResumedPages = int(r.i64())
+				ab.Insert.RepairedPages = int(r.i64())
 				ab.Err = r.str()
 				ab.Attempt = int(r.i64())
 				return ab, nil

@@ -84,6 +84,11 @@ type RIMASBody struct {
 // Bytes prices the body for wire accounting.
 func (rb *RIMASBody) Bytes() int { return 64 + collapsedRunWireBytes*len(rb.Runs) }
 
+// MigrationProc names the migrating process. The transport's delivery
+// ledger uses it to key page content retained from a transfer that
+// died after some fragments were acknowledged.
+func (rb *RIMASBody) MigrationProc() string { return rb.ProcName }
+
 // AckBody reports insertion timestamps back to the source manager.
 type AckBody struct {
 	ProcName     string

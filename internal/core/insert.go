@@ -19,8 +19,16 @@ type InsertTimings struct {
 	ZeroRuns     int
 	// ElidedPages counts pages the manifest exchange kept off the wire:
 	// rebuilt here from the retained recipe (zero pages, local content-
-	// index hits, intra-message duplicates) instead of arriving.
+	// index hits, intra-message duplicates, ledger-retained content)
+	// instead of arriving.
 	ElidedPages int
+	// ResumedPages counts the elided pages rebuilt from the delivery
+	// ledger — content that crossed the wire during an earlier failed
+	// attempt of this same migration.
+	ResumedPages int
+	// RepairedPages counts installed pages whose integrity checksum
+	// failed and had to be re-fetched from the source by hash.
+	RepairedPages int
 }
 
 // InsertProcess recreates a process on machine m from its two context
@@ -97,6 +105,7 @@ func insertProcess(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc.Messa
 	var lazySeg, resSeg *vm.Segment
 	arrived := 0
 	compPages := 0
+	verified := 0
 	// built tracks each data attachment's segment by its ordinal in the
 	// RIMAS attachment list, so twin recipes can copy from the shipped
 	// original wherever it landed.
@@ -107,6 +116,7 @@ func insertProcess(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc.Messa
 			seg := vm.NewSegment(fmt.Sprintf("%s.%s", cb.ProcName, label), a.Size, int(ps))
 			attachPool(m, seg)
 			built[ai] = seg
+			sumIdx := 0
 			for _, run := range a.Runs {
 				for j := 0; j < run.Count; j++ {
 					idx := run.Index + uint64(j)
@@ -116,17 +126,33 @@ func insertProcess(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc.Messa
 					pg.State.Dirty = true
 					m.Pager.Install(seg, idx)
 					arrived++
+					// End-to-end integrity: re-hash the installed page
+					// against the checksum the source stamped. A mismatch
+					// means the wire damaged this page; re-fetch just it by
+					// hash instead of abandoning the whole attempt.
+					if sumIdx < len(a.Sums) {
+						verified++
+						if got, _ := vm.HashPage(pg.Data, int(ps)); got != a.Sums[sumIdx] {
+							if !m.Pager.RepairPage(p, seg, idx, a.Sums[sumIdx]) {
+								return nil, fmt.Errorf("core: insert %q: page %d of %s corrupt and unrepairable",
+									cb.ProcName, idx, label)
+							}
+							t.RepairedPages++
+						}
+					}
+					sumIdx++
 				}
 			}
 			if a.CompBytes > 0 {
 				compPages += a.PageCount()
 			}
 			if acts := recipeActsFor(rcp, ai); acts != nil {
-				n, err := applyRecipe(m, seg, acts, built)
+				n, res, err := applyRecipe(m, seg, acts, built)
 				if err != nil {
 					return nil, fmt.Errorf("core: insert %q: %w", cb.ProcName, err)
 				}
 				t.ElidedPages += n
+				t.ResumedPages += res
 			}
 			return seg, nil
 		case ipc.AttachIOU:
@@ -252,12 +278,14 @@ func insertProcess(p *sim.Proc, m *machine.Machine, coreMsg, rimasMsg *ipc.Messa
 	// which is why Core transmission takes ≈1 s in all cases (§4.3.2).
 	// Elided pages cost the same per-page install work as arrived ones
 	// (the copy is local instead of from the wire); compressed arrivals
-	// additionally pay the modeled decompression.
+	// additionally pay the modeled decompression, and checksummed ones
+	// the verification re-hash.
 	m.CPU.UseHigh(p, tun.InsertBase+
 		time.Duration(len(cb.Rights))*tun.PerPortRight+
 		time.Duration(len(cb.AMap.Entries)+len(rimasMsg.Mem))*tun.InsertPerRun+
 		time.Duration(t.ArrivedPages+t.ElidedPages)*tun.InsertPerArrivedPage+
-		time.Duration(compPages)*m.DedupConfig().DecompressPerPageCPU)
+		time.Duration(compPages)*m.DedupConfig().DecompressPerPageCPU+
+		time.Duration(verified)*m.DedupConfig().HashPerPageCPU)
 
 	if err := m.Adopt(pr); err != nil {
 		return nil, t, err
@@ -277,13 +305,15 @@ func recipeActsFor(rcp *dedupRecipe, ai int) []recipeAct {
 }
 
 // applyRecipe rebuilds a data attachment's elided pages — zeros from
-// nothing, local hits from bytes captured at classification, twins
-// from the shipped original — and registers every page's hash in the
-// machine's content index so later faults and migrations can be served
-// locally. Shipped pages must already be materialized by the run loop.
-// It returns how many pages were rebuilt.
-func applyRecipe(m *machine.Machine, seg *vm.Segment, acts []recipeAct, built map[int]*vm.Segment) (int, error) {
-	rebuilt := 0
+// nothing, local hits from bytes captured at classification, ledger
+// retentions from an earlier attempt's delivery, twins from the
+// shipped original — and registers every page's hash in the machine's
+// content index so later faults and migrations can be served locally.
+// Shipped pages must already be materialized by the run loop. It
+// returns how many pages were rebuilt, and how many of those came from
+// the delivery ledger.
+func applyRecipe(m *machine.Machine, seg *vm.Segment, acts []recipeAct, built map[int]*vm.Segment) (int, int, error) {
+	rebuilt, resumed := 0, 0
 	install := func(idx uint64, data []byte, hash uint64) {
 		pg := seg.Materialize(idx, data)
 		pg.State.Dirty = true
@@ -305,25 +335,28 @@ func applyRecipe(m *machine.Machine, seg *vm.Segment, acts []recipeAct, built ma
 					m.Index.Put(act.hash, pg.Data)
 				}
 			} else if act.kind == actShip {
-				return rebuilt, fmt.Errorf("manifest page %d missing from shipped runs", i)
+				return rebuilt, resumed, fmt.Errorf("manifest page %d missing from shipped runs", i)
 			}
 		case actZero:
 			install(idx, nil, vm.ZeroHash)
 		case actLocal:
 			install(idx, act.data, act.hash)
+		case actResume:
+			install(idx, act.data, act.hash)
+			resumed++
 		case actTwin:
 			twinSeg := built[act.twinAtt]
 			if twinSeg == nil {
-				return rebuilt, fmt.Errorf("twin attachment %d not built", act.twinAtt)
+				return rebuilt, resumed, fmt.Errorf("twin attachment %d not built", act.twinAtt)
 			}
 			src := twinSeg.Page(uint64(act.twinIdx))
 			if src == nil {
-				return rebuilt, fmt.Errorf("twin page %d/%d not materialized", act.twinAtt, act.twinIdx)
+				return rebuilt, resumed, fmt.Errorf("twin page %d/%d not materialized", act.twinAtt, act.twinIdx)
 			}
 			install(idx, src.Data, act.hash)
 		}
 	}
-	return rebuilt, nil
+	return rebuilt, resumed, nil
 }
 
 // attachPool points a freshly inserted segment at the machine's frame

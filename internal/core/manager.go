@@ -97,7 +97,8 @@ type Manager struct {
 
 	// PhaseHook, when set, is called in the migrating proc's context as
 	// each source-side migration phase begins (excise, xfer.core,
-	// xfer.rimas). Fault harnesses key scheduled crashes to it.
+	// xfer.manifest, xfer.rimas). Fault harnesses key scheduled crashes
+	// to it.
 	PhaseHook func(p *sim.Proc, phase string)
 
 	pendingCore map[string]*pending
@@ -216,11 +217,11 @@ func (mgr *Manager) handleManifest(p *sim.Proc, mb *ManifestBody, m *ipc.Message
 		total += len(a.Hashes)
 	}
 	// Classification work: each page costs one hash lookup (the index
-	// verifies hits by re-hashing the remembered frame).
-	if d := mgr.M.DedupConfig(); d.Enabled && total > 0 {
+	// and the delivery ledger both verify hits by re-hashing).
+	if d := mgr.M.DedupConfig(); d.ManifestActive() && total > 0 {
 		mgr.M.CPU.UseHigh(p, time.Duration(total)*d.HashPerPageCPU)
 	}
-	rcp, ack := classifyManifest(mb, mgr.M.Index, mgr.M.PageSize())
+	rcp, ack := classifyManifest(mb, mgr.M.Index, mgr.M.Ledger, mgr.M.PageSize())
 	// A manifest of an older, abandoned attempt must not clobber the
 	// recipe of the attempt actually in flight.
 	if old, held := mgr.recipes[mb.ProcName]; !held || mb.Attempt >= old.attempt {
@@ -261,6 +262,9 @@ func (mgr *Manager) handleRIMAS(p *sim.Proc, rb *RIMASBody, m *ipc.Message) {
 			ack.Err = err.Error()
 		} else {
 			mgr.inserted++
+			// The real image is installed: whatever the delivery ledger
+			// retained for this migration is now redundant.
+			mgr.M.Ledger.Forget(rb.ProcName)
 			ack.Insert = it
 			ack.InsertDone = p.Now()
 			mgr.state(rb.ProcName, "Inserted")
@@ -446,14 +450,20 @@ func (mgr *Manager) migrateOnce(p *sim.Proc, procName string, destPort ipc.PortI
 	rb := ctx.RIMAS.Body.(*RIMASBody)
 	rb.HoldAtDest = opts.HoldAtDest
 	rb.Attempt = attempt
-	// With the content-addressed store on, a manifest round-trip
-	// precedes the RIMAS transfer: the destination names the pages it
-	// cannot rebuild, and only those ship. The exchange lives inside
-	// the xfer.rimas window, so its cost weighs against its savings.
-	if d := mgr.M.DedupConfig(); d.Enabled && !rb.PreCopied {
+	// With the content-addressed store or the delivery ledger on, a
+	// manifest round-trip precedes the RIMAS transfer: the destination
+	// names the pages it cannot rebuild — locally, or from content a
+	// failed earlier attempt already delivered — and only those ship.
+	// The exchange lives inside the xfer.rimas window, so its cost
+	// weighs against its savings.
+	if d := mgr.M.DedupConfig(); d.ManifestActive() && !rb.PreCopied {
+		mgr.hook(p, "xfer.manifest")
 		if err := mgr.exchangeManifest(p, procName, destPort, reply, ctx, timeout, attempt, d); err != nil {
 			return nil, fail(err)
 		}
+	}
+	if d := mgr.M.DedupConfig(); d.Integrity {
+		mgr.stampIntegrity(p, ctx, d)
 	}
 	ctx.RIMAS.To = destPort
 	ctx.RIMAS.ReplyTo = reply.ID

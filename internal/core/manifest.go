@@ -15,8 +15,10 @@ import (
 // with the subset it cannot reconstruct locally (OpManifestAck). Only
 // those pages ship. Everything the destination elides it rebuilds at
 // insert time from a retained recipe: zero pages from nothing,
-// content-index hits from its own memory, and intra-message duplicates
-// from the first shipped copy. Hashes for attachments the transport
+// content-index hits from its own memory, intra-message duplicates
+// from the first shipped copy, and — on a retry — pages the delivery
+// ledger retained from an earlier failed attempt. Hashes for
+// attachments the transport
 // will absorb as IOUs ride along too — not to elide bytes (none ship),
 // but to seed fault-time hints so later faults can be served from the
 // local index or the nearest holder instead of the origin backer.
@@ -123,6 +125,10 @@ const (
 	actTwin
 	// actHint: the page rides an IOU; the hash seeds a fault-time hint.
 	actHint
+	// actResume: the page's content already crossed the wire during an
+	// earlier failed attempt and was retained in the delivery ledger;
+	// the classified bytes were captured from it.
+	actResume
 )
 
 type recipeAct struct {
@@ -149,9 +155,11 @@ type dedupRecipe struct {
 // classifyManifest decides, page by page, what the destination can
 // reconstruct without the wire. index may be nil (store disabled at
 // the destination): zero pages and intra-message duplicates still
-// elide. Local-hit bytes are copied out of the index immediately —
-// the underlying frames may be recycled before insert time.
-func classifyManifest(mb *ManifestBody, index *vm.ContentIndex, ps int) (*dedupRecipe, *ManifestAckBody) {
+// elide. led may be nil (resume disabled): a retry's retained pages
+// then reship like any others. Local-hit bytes are copied out of the
+// index immediately — the underlying frames may be recycled before
+// insert time; ledger bytes are already stable copies.
+func classifyManifest(mb *ManifestBody, index *vm.ContentIndex, led *vm.DeliveryLedger, ps int) (*dedupRecipe, *ManifestAckBody) {
 	rcp := &dedupRecipe{attempt: mb.Attempt}
 	ack := &ManifestAckBody{ProcName: mb.ProcName, Attempt: mb.Attempt}
 	type src struct{ att, idx int }
@@ -175,6 +183,8 @@ func classifyManifest(mb *ManifestBody, index *vm.ContentIndex, ps int) (*dedupR
 					cp := make([]byte, len(data))
 					copy(cp, data)
 					ra.acts = append(ra.acts, recipeAct{kind: actLocal, hash: h, data: cp})
+				} else if data := led.Lookup(mb.ProcName, h, ps); data != nil {
+					ra.acts = append(ra.acts, recipeAct{kind: actResume, hash: h, data: data})
 				} else if t, dup := seen[h]; dup {
 					ra.acts = append(ra.acts, recipeAct{kind: actTwin, hash: h, twinAtt: t.att, twinIdx: t.idx})
 				} else {

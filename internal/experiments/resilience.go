@@ -65,6 +65,10 @@ type ResilienceOutcome struct {
 	// never ran again.
 	Downtime time.Duration
 
+	// BytesTotal is every wire byte the trial moved, across all
+	// attempts — the honest cost a retry policy is judged by.
+	BytesTotal uint64
+
 	// Reliable-transport overhead, summed over both machines.
 	Retransmits     uint64
 	RetransmitBytes uint64
@@ -72,6 +76,28 @@ type ResilienceOutcome struct {
 	DeadPeers       uint64
 	// ZeroFills counts orphaned pages materialized as zeros.
 	ZeroFills uint64
+
+	// Resumable-retry and integrity accounting for the successful
+	// attempt: pages the destination rebuilt from its delivery ledger
+	// instead of re-receiving, the wire bytes that elision saved, and
+	// corrupt installs repaired by hash re-fetch. All zero when the
+	// ledger and per-page checksums are off.
+	ResumedPages  int
+	ResumedBytes  uint64
+	RepairedPages int
+	// CorruptPages counts payload pages the fault plan bit-flipped in
+	// flight, summed over both machines' transports.
+	CorruptPages uint64
+
+	// Invariant evidence for the chaos campaign (chaos.go): the final
+	// memory-image digest of the surviving process and where it lives,
+	// the frames each machine's pool still holds, and the pages the
+	// source store still owes when the trial ends.
+	ImageHash  uint64
+	ImageOnDst bool
+	SrcFrames  uint64
+	DstFrames  uint64
+	Residual   int
 }
 
 // classifyErr maps an error chain onto a short stable class name for
@@ -152,6 +178,9 @@ func RunResilienceTrial(cfg Config, k workload.Kind, strat core.Strategy, ropts 
 		out.Migrated = true
 		out.Attempts = rep.Attempts
 		out.FinalStrategy = rep.FinalStrategy
+		out.ResumedPages = rep.Insert.ResumedPages
+		out.ResumedBytes = uint64(rep.Insert.ResumedPages) * uint64(tb.Src.PageSize())
+		out.RepairedPages = rep.Insert.RepairedPages
 		// Crashes keyed to the "remote" phase fire once remote
 		// execution has begun.
 		tb.FirePhase(p, "remote")
@@ -169,7 +198,17 @@ func RunResilienceTrial(cfg Config, k workload.Kind, strat core.Strategy, ropts 
 	out.BackoffTime = srcStats.BackoffTime + dstStats.BackoffTime
 	out.DeadPeers = srcStats.DeadPeers + dstStats.DeadPeers
 	out.ZeroFills = tb.Src.Pager.Stats().ZeroFills + tb.Dst.Pager.Stats().ZeroFills
+	out.CorruptPages = srcStats.CorruptPages + dstStats.CorruptPages
+	out.BytesTotal = tb.Rec.BytesTotal()
 	out.Downtime = tb.Rec.Downtime()
+	out.SrcFrames = tb.Src.Pool.InUse()
+	out.DstFrames = tb.Dst.Pool.InUse()
+	out.Residual = tb.Src.Net.Store().TotalRemaining()
+	if h, ok := tb.Dst.ImageHash(k.String()); ok {
+		out.ImageHash, out.ImageOnDst = h, true
+	} else if h, ok := tb.Src.ImageHash(k.String()); ok {
+		out.ImageHash = h
+	}
 	return out, nil
 }
 
@@ -362,9 +401,9 @@ func FormatResilience(t *ResilienceTable) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Resilience under injected faults (%s, %d seeds per cell)\n\n",
 		t.Kind, len(resilienceSeeds))
-	fmt.Fprintf(&b, "%-10s %6s %9s %9s %9s %8s %9s %9s %10s %12s\n",
+	fmt.Fprintf(&b, "%-10s %6s %9s %9s %9s %8s %9s %9s %10s %12s %8s\n",
 		"Strategy", "Drop", "Migrated", "Complete", "Attempts", "Inflate",
-		"Downtime", "Retrans", "Backoff", "RetransKB")
+		"Downtime", "Retrans", "Backoff", "RetransKB", "Resumed")
 
 	baseline := map[core.Strategy]time.Duration{}
 	for _, r := range t.Sweep {
@@ -375,25 +414,26 @@ func FormatResilience(t *ResilienceTable) string {
 	for _, r := range t.Sweep {
 		var retrans, rbytes uint64
 		var backoff, down time.Duration
-		attempts := 0
+		attempts, resumed := 0, 0
 		for _, o := range r.Outcomes {
 			retrans += o.Retransmits
 			rbytes += o.RetransmitBytes
 			backoff += o.BackoffTime
 			attempts += o.Attempts
 			down += o.Downtime
+			resumed += o.ResumedPages
 		}
 		n := len(r.Outcomes)
 		inflate := "-"
 		if base := baseline[r.Strategy]; base > 0 && r.meanCompleted() > 0 {
 			inflate = fmt.Sprintf("%.2fx", float64(r.meanCompleted())/float64(base))
 		}
-		fmt.Fprintf(&b, "%-10s %5.0f%% %6d/%-2d %6d/%-2d %9.1f %8s %8.1fs %9d %10s %12.1f\n",
+		fmt.Fprintf(&b, "%-10s %5.0f%% %6d/%-2d %6d/%-2d %9.1f %8s %8.1fs %9d %10s %12.1f %8d\n",
 			r.Strategy, 100*r.DropProb, r.Migrated(), n, r.Succeeded(), n,
 			float64(attempts)/float64(n), inflate,
 			(down / time.Duration(n)).Seconds(),
 			retrans, (backoff / time.Duration(n)).Round(time.Millisecond),
-			float64(rbytes)/1024/float64(n))
+			float64(rbytes)/1024/float64(n), resumed)
 	}
 
 	fmt.Fprintf(&b, "\nFailure scenarios (%s, strategy %s)\n\n", t.Kind, core.PureIOU)

@@ -99,7 +99,9 @@ func NewTestbed(cfg Config) *Testbed {
 	dstMgr := core.NewManager(dst, cfg.tuning())
 	src.Net.AddRoute(dstMgr.Port.ID, "dst")
 	dst.Net.AddRoute(srcMgr.Port.ID, "src")
-	if cfg.Machine.Dedup.Enabled {
+	// Integrity repair re-fetches corrupt pages by hash through the
+	// same holder-resolver path dedup uses, so either flag wires it.
+	if cfg.Machine.Dedup.Enabled || cfg.Machine.Dedup.Integrity {
 		WireHolderResolvers(src, dst)
 	}
 	tb := &Testbed{
@@ -253,6 +255,13 @@ type TrialResult struct {
 
 	// ResidualPages is what the source still owes after completion.
 	ResidualPages int
+
+	// Resumable-retry and integrity accounting (RESILIENCE.md). A
+	// single-attempt trial resumes nothing; the fields stay zero unless
+	// the delivery ledger or per-page checksums are enabled.
+	ResumedPages  int    // pages rebuilt from the delivery ledger
+	ResumedBytes  uint64 // wire bytes those pages did not re-travel
+	RepairedPages int    // corrupt installs re-fetched by hash
 }
 
 // TransferredRealPct reports the fraction of the RealMem portion that
@@ -340,6 +349,9 @@ func RunTrial(cfg Config, k workload.Kind, strat core.Strategy, prefetch int) (*
 		tr.DestUsage = npr.AS.Usage()
 	}
 	tr.ResidualPages = tb.Src.Net.Store().TotalRemaining()
+	tr.ResumedPages = tr.Report.Insert.ResumedPages
+	tr.ResumedBytes = uint64(tr.ResumedPages) * uint64(tb.Src.PageSize())
+	tr.RepairedPages = tr.Report.Insert.RepairedPages
 	return tr, nil
 }
 

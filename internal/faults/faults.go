@@ -115,6 +115,13 @@ type Plan struct {
 	Partitions []Window `json:"partitions,omitempty"`
 	// Crashes schedule backer failures.
 	Crashes []Crash `json:"crashes,omitempty"`
+	// CorruptProb is the per-page probability that a delivered,
+	// integrity-protected payload page is bit-flipped on the wire
+	// (corruption the link-level CRC missed). Detection and repair
+	// are the receiver's job; see docs/RESILIENCE.md.
+	CorruptProb float64 `json:"corruptProb,omitempty"`
+	// CorruptBursts temporarily raise the corruption probability.
+	CorruptBursts []Burst `json:"corruptBursts,omitempty"`
 }
 
 // FromDropRate compiles the legacy single-knob loss model (netlink's
@@ -166,6 +173,18 @@ func (p *Plan) Validate() error {
 				time.Duration(w.Start), time.Duration(w.End))
 		}
 	}
+	if p.CorruptProb < 0 || p.CorruptProb > 1 {
+		return fmt.Errorf("faults: corruptProb %v outside [0, 1]", p.CorruptProb)
+	}
+	for i, b := range p.CorruptBursts {
+		if b.DropProb < 0 || b.DropProb > 1 {
+			return fmt.Errorf("faults: corrupt burst %d dropProb %v outside [0, 1]", i, b.DropProb)
+		}
+		if b.End <= b.Start {
+			return fmt.Errorf("faults: corrupt burst %d window [%v, %v) is empty", i,
+				time.Duration(b.Start), time.Duration(b.End))
+		}
+	}
 	for i, c := range p.Crashes {
 		if c.Machine == "" {
 			return fmt.Errorf("faults: crash %d names no machine", i)
@@ -188,6 +207,10 @@ func (p *Plan) Validate() error {
 type Injector struct {
 	plan *Plan
 	rng  *xrand.RNG
+	// crng is the corruption stream, seeded independently of the drop
+	// stream so adding corruption to a plan leaves its loss sequence
+	// bit-identical.
+	crng *xrand.RNG
 }
 
 // NewInjector compiles plan for one consumer. stream names the
@@ -204,7 +227,9 @@ func NewInjector(plan *Plan, stream string) *Injector {
 		h.Write([]byte(stream))
 		seed ^= h.Sum64()
 	}
-	return &Injector{plan: plan, rng: xrand.New(seed)}
+	ch := fnv.New64a()
+	ch.Write([]byte("corrupt"))
+	return &Injector{plan: plan, rng: xrand.New(seed), crng: xrand.New(seed ^ ch.Sum64())}
 }
 
 // Active reports whether the injector can ever drop a frame. Reliable
@@ -241,4 +266,34 @@ func (in *Injector) Drop(now time.Duration) bool {
 		return false
 	}
 	return in.rng.Float64() < prob
+}
+
+// CorruptActive reports whether the injector can ever corrupt a page.
+// The data plane uses it to skip checksum-corruption work entirely, so
+// corruption-free runs stay byte-identical to the pre-corruption code.
+func (in *Injector) CorruptActive() bool {
+	if in == nil {
+		return false
+	}
+	return in.plan.CorruptProb > 0 || len(in.plan.CorruptBursts) > 0
+}
+
+// CorruptPage decides whether one delivered payload page transmitted
+// at virtual time now arrives bit-flipped. It draws from a private
+// random stream, independent of the drop stream, and only when the
+// effective probability is positive.
+func (in *Injector) CorruptPage(now time.Duration) bool {
+	if in == nil {
+		return false
+	}
+	prob := in.plan.CorruptProb
+	for _, b := range in.plan.CorruptBursts {
+		if b.Contains(now) && b.DropProb > prob {
+			prob = b.DropProb
+		}
+	}
+	if prob <= 0 {
+		return false
+	}
+	return in.crng.Float64() < prob
 }

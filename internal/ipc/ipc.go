@@ -103,6 +103,14 @@ type MemAttachment struct {
 	// address-space one.
 	CompBytes int
 
+	// Sums, when non-nil, carries an end-to-end per-page checksum for
+	// each payload page, in run order (Sums[i] names the i-th page
+	// across the attachment's Runs). The receiver verifies them at
+	// install time; WireBytes prices them. Intermediaries preserve
+	// them. Nil means the attachment is unprotected, which keeps
+	// integrity-off runs byte-identical.
+	Sums []uint64
+
 	// AttachIOU fields.
 	SegID   uint64 // backing segment identity at the backer
 	SegOff  uint64 // offset of VA within that segment
@@ -133,6 +141,7 @@ const (
 	dataDescBytes   = 24
 	iouDescBytes    = 48
 	pageImageHeader = 8
+	pageSumBytes    = 8
 )
 
 // Message is a single IPC message.
@@ -185,6 +194,7 @@ func (m *Message) WireBytes() int {
 				payload = a.CompBytes
 			}
 			n += dataDescBytes + a.PageCount()*pageImageHeader + payload
+			n += len(a.Sums) * pageSumBytes
 		case AttachIOU:
 			n += iouDescBytes
 		}

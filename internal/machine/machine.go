@@ -58,9 +58,7 @@ func (c Config) withDefaults() Config {
 	if c.Net.FragBytes == 0 {
 		c.Net.FragBytes = c.PageSize
 	}
-	if c.Dedup.Enabled {
-		c.Dedup = c.Dedup.WithDefaults()
-	}
+	c.Dedup = c.Dedup.WithDefaults()
 	return c
 }
 
@@ -151,8 +149,13 @@ type Machine struct {
 	// freed by excision or segment death back later materializations.
 	Pool *vm.FramePool
 	// Index is the machine's content index: hash → one resident copy of
-	// those page bytes. Nil unless Config.Dedup.Enabled.
+	// those page bytes. Nil unless Config.Dedup.Enabled (or Integrity,
+	// which uses it to serve single-page repair reads).
 	Index *vm.ContentIndex
+	// Ledger retains page content delivered by migration attempts that
+	// later failed, so retries ship a delta. Nil unless
+	// Config.Dedup.Resume.
+	Ledger *vm.DeliveryLedger
 
 	cfg   Config
 	rec   *metrics.Recorder
@@ -181,10 +184,14 @@ func New(k *sim.Kernel, name string, cfg Config) *Machine {
 		cfg:   cfg,
 		procs: make(map[string]*Process),
 	}
-	if cfg.Dedup.Enabled {
+	if cfg.Dedup.Enabled || cfg.Dedup.Integrity {
 		m.Index = vm.NewContentIndex(cfg.PageSize)
 		srv.SetContentIndex(m.Index, cfg.Dedup.HashPerPageCPU)
 		pg.SetContentIndex(m.Index, cfg.Dedup)
+	}
+	if cfg.Dedup.Resume {
+		m.Ledger = vm.NewDeliveryLedger()
+		srv.SetLedger(m.Ledger, cfg.PageSize)
 	}
 	srv.Start()
 	return m
@@ -479,6 +486,79 @@ func (m *Machine) MakeResident(pr *Process, addrs []vm.Addr) error {
 		m.Phys.Insert(pl.Seg, pl.PageIdx)
 	}
 	return nil
+}
+
+// ImageHash digests a resident process's logical memory image: every
+// region in address order, every materialized page's content, and the
+// presence/absence of each page. Two runs of the same program that end
+// with the same memory state produce the same hash; a corrupted,
+// zero-filled, or missing page changes it. Used by the chaos
+// campaign's image-identity invariant.
+func (m *Machine) ImageHash(name string) (uint64, bool) {
+	pr, ok := m.procs[name]
+	if !ok {
+		return 0, false
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	}
+	ps := uint64(m.cfg.PageSize)
+	for _, r := range pr.AS.Regions() {
+		mix64(uint64(r.Start))
+		first := r.SegOff / ps
+		last := (r.SegOff + r.Size() + ps - 1) / ps
+		for idx := first; idx < last; idx++ {
+			pg := r.Seg.Page(idx)
+			if pg == nil {
+				mix(0)
+				continue
+			}
+			mix(1)
+			for _, b := range pg.Data {
+				mix(b)
+			}
+		}
+	}
+	return h, true
+}
+
+// FrameCensus counts pool frames reachable from live segments: the sum
+// of materialized pages over every distinct segment mapped by every
+// resident process. The chaos campaign's frame-leak invariant compares
+// it against Pool.InUse() — a pool frame not reachable from any live
+// segment has leaked.
+func (m *Machine) FrameCensus() uint64 {
+	var total uint64
+	var seen []*vm.Segment
+	for _, name := range m.ProcNames() {
+		pr := m.procs[name]
+		for _, r := range pr.AS.Regions() {
+			dup := false
+			for _, s := range seen {
+				if s == r.Seg {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, r.Seg)
+			total += uint64(r.Seg.MaterializedPages())
+		}
+	}
+	return total
 }
 
 // PageElapse is a tiny helper for tests: how long one op takes.

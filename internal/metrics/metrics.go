@@ -272,9 +272,15 @@ func (r *Recorder) Messages() uint64 { return r.messages }
 func (r *Recorder) MessageTime() time.Duration { return r.msgTime }
 
 // MarkFreeze records that a migration froze its process at time at.
-// A later freeze supersedes an earlier one (each retry attempt
-// re-freezes), clearing any resume recorded for the earlier attempt.
+// A freeze while the process is already frozen and has not resumed is
+// ignored: retry attempts re-freeze without the process ever running
+// in between, so the downtime interval must keep the first attempt's
+// freeze instant, not the last one's. A freeze after a resume starts a
+// new interval, clearing the earlier pair.
 func (r *Recorder) MarkFreeze(at time.Duration) {
+	if r.frozen && !r.resumed {
+		return
+	}
 	r.freezeAt = at
 	r.frozen = true
 	r.resumed = false

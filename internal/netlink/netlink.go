@@ -79,6 +79,15 @@ func (l *Link) SetFaults(inj *faults.Injector) { l.inj = inj }
 // consult it to decide whether acknowledgement machinery is needed.
 func (l *Link) MayDrop() bool { return l.inj.Active() }
 
+// MayCorrupt reports whether the link can ever bit-flip a delivered
+// payload page; the data plane consults it to skip corruption work on
+// clean links.
+func (l *Link) MayCorrupt() bool { return l.inj.CorruptActive() }
+
+// CorruptPage asks the failure model whether one delivered payload
+// page arriving at time at is bit-flipped.
+func (l *Link) CorruptPage(at time.Duration) bool { return l.inj.CorruptPage(at) }
+
 // SetRecorder directs byte accounting to rec (may be nil to disable).
 // Wire-contention waits feed the recorder's "wait.wire" distribution.
 func (l *Link) SetRecorder(rec *metrics.Recorder) {

@@ -162,6 +162,10 @@ type Stats struct {
 	// Sliding-window transport counters (Window > 1 only).
 	Windowed     uint64 // multi-fragment messages sent through the windowed path
 	WindowRounds uint64 // in-flight bursts (window rounds) sent
+
+	// Robustness counters.
+	CreditedPages uint64 // pages of aborted transfers credited to the peer's ledger
+	CorruptPages  uint64 // delivered payload pages bit-flipped by the failure model
 }
 
 // Server is one machine's NetMsgServer.
@@ -191,9 +195,21 @@ type Server struct {
 	index      *vm.ContentIndex
 	hashPerCPU time.Duration
 
+	// ledger retains page content from migration transfers to THIS
+	// machine that aborted partway (nil unless resume is configured).
+	// Senders credit it with the whole pages of every fragment the
+	// peer acknowledged before the transfer died.
+	ledger   *vm.DeliveryLedger
+	ledgerPS int
+
 	rec   *metrics.Recorder
 	stats Stats
 }
+
+// migrationPayload is implemented by message bodies that carry a
+// migration's memory image (core.RIMASBody), naming the migrating
+// process so partial deliveries can be credited to its ledger entry.
+type migrationPayload interface{ MigrationProc() string }
 
 type peerLink struct {
 	link *netlink.Link
@@ -258,6 +274,18 @@ func (s *Server) SetContentIndex(ix *vm.ContentIndex, hashPerPageCPU time.Durati
 	s.index = ix
 	s.hashPerCPU = hashPerPageCPU
 }
+
+// SetLedger attaches the machine's delivery ledger (resumable
+// migration). pageSize is the page stride used to slice aborted
+// transfers into creditable pages. A nil ledger keeps every transport
+// path byte-identical to a build without resume support.
+func (s *Server) SetLedger(l *vm.DeliveryLedger, pageSize int) {
+	s.ledger = l
+	s.ledgerPS = pageSize
+}
+
+// Ledger exposes the delivery ledger (nil unless resume is on).
+func (s *Server) Ledger() *vm.DeliveryLedger { return s.ledger }
 
 // Stats returns a copy of the counters.
 func (s *Server) Stats() Stats { return s.stats }
@@ -420,6 +448,11 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 			if !sent {
 				s.stats.DeadPeers++
 				s.stats.Lost++
+				// Fragments 0..f-1 were delivered in order before this one
+				// exhausted its budget: credit their whole pages to the
+				// peer's ledger so a retry ships only the tail.
+				deliveredBytes := f * unit
+				s.creditPartial(p, m, pl, func(lo, hi int) bool { return hi <= deliveredBytes })
 				s.account(m, handling)
 				s.nack(p, m)
 				return
@@ -438,6 +471,9 @@ func (s *Server) forward(p *sim.Proc, m *ipc.Message, pl *peerLink) {
 	if err != nil {
 		// A codec failure is a protocol bug, not a runtime condition.
 		panic(fmt.Sprintf("netmsg %s: wire transfer of op %#x: %v", s.name, m.Op, err))
+	}
+	if pl.link.MayCorrupt() {
+		s.corruptDelivered(decoded, pl)
 	}
 	pl.peer.deliver(p, decoded, s.name)
 }
@@ -542,6 +578,107 @@ func (s *Server) nack(p *sim.Proc, m *ipc.Message) {
 	})
 	if err != nil {
 		s.stats.DeadLetters++
+	}
+}
+
+// creditPartial runs after a multi-fragment transfer is abandoned: it
+// walks the message's wire layout (the same accounting WireBytes
+// prices) and credits every payload page whose full byte span —
+// page header plus image — rode a fragment the peer acknowledged, so
+// the next attempt's manifest exchange can elide it. covered reports
+// whether the encoded byte span [lo, hi) reached the peer. Compressed
+// attachments are skipped: their pages have no independent byte spans
+// on the wire. A page that the failure model corrupts in flight is
+// not credited — the receiver would retain bytes whose hash can never
+// match a manifest entry.
+func (s *Server) creditPartial(p *sim.Proc, m *ipc.Message, pl *peerLink, covered func(lo, hi int) bool) {
+	led := pl.peer.ledger
+	if led == nil {
+		return
+	}
+	body, ok := m.Body.(migrationPayload)
+	if !ok {
+		return
+	}
+	proc := body.MigrationProc()
+	ps := pl.peer.ledgerPS
+	mayCorrupt := pl.link.MayCorrupt()
+	credited := uint64(0)
+	off := 64 + m.BodyBytes // msgHeaderBytes: the header and body lead the frame
+	for _, a := range m.Mem {
+		switch a.Kind {
+		case ipc.AttachData:
+			off += 24 + len(a.Sums)*8 // dataDescBytes + priced checksums
+			if a.CompBytes > 0 {
+				off += a.PageCount()*8 + a.CompBytes
+				continue
+			}
+			for _, run := range a.Runs {
+				for i := 0; i < run.Count; i++ {
+					pg := run.Page(i, ps)
+					start := off
+					off += 8 + len(pg) // pageImageHeader + image
+					if !covered(start, off) {
+						continue
+					}
+					if mayCorrupt && pl.link.CorruptPage(s.k.Now()) {
+						continue
+					}
+					if h, zero := vm.HashPage(pg, ps); !zero {
+						led.Credit(proc, h, pg)
+						credited++
+					}
+				}
+			}
+		case ipc.AttachIOU:
+			off += 48 // iouDescBytes
+		}
+	}
+	if credited > 0 {
+		s.stats.CreditedPages += credited
+		if s.rec != nil {
+			s.rec.Inc("pages.credited", credited)
+		}
+		if s.k.Tracing() {
+			s.k.Emit(obs.Event{
+				Kind:    obs.PageTransfer,
+				Machine: s.name,
+				Proc:    p.Name(),
+				Name:    "credit",
+				Bytes:   int(credited) * ps,
+				Op:      m.Op,
+			})
+		}
+	}
+}
+
+// corruptDelivered applies the failure model's bit-flips to a freshly
+// decoded inbound message: each integrity-protected payload page may
+// arrive damaged (corruption the link CRC missed). The decoded copy
+// owns its buffers, so flipping here can never touch the sender's
+// rollback snapshot. Unprotected attachments are left alone — the
+// corrupt fault models damage on the checksummed migration stream.
+func (s *Server) corruptDelivered(m *ipc.Message, pl *peerLink) {
+	ps := s.cfg.FragBytes
+	for _, a := range m.Mem {
+		if a.Kind != ipc.AttachData || len(a.Sums) == 0 {
+			continue
+		}
+		for _, run := range a.Runs {
+			for i := 0; i < run.Count; i++ {
+				if !pl.link.CorruptPage(s.k.Now()) {
+					continue
+				}
+				pg := run.Page(i, ps)
+				if len(pg) > 0 {
+					pg[0] ^= 0x80
+					s.stats.CorruptPages++
+					if s.rec != nil {
+						s.rec.Inc("pages.corrupted", 1)
+					}
+				}
+			}
+		}
 	}
 }
 
@@ -798,6 +935,9 @@ func (s *Server) reply(p *sim.Proc, req *ipc.Message, op int, rep *imag.ReadRepl
 // dependency experiments.
 func (s *Server) Crash() {
 	s.sys.RemovePort(s.backPort)
+	// The retained-delivery ledger is kernel memory: it dies with the
+	// machine, so a retry against a restarted host starts from zero.
+	s.ledger.Clear()
 }
 
 // String identifies the server.

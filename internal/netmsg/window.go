@@ -33,6 +33,7 @@ import (
 // winFrag tracks one fragment of a windowed transfer.
 type winFrag struct {
 	n         int  // payload bytes
+	off       int  // first payload byte of the message this fragment carries
 	attempts  int  // times put on the wire
 	delivered bool // reached the peer (possibly not yet acked)
 }
@@ -117,7 +118,7 @@ func (s *Server) forwardWindowed(p *sim.Proc, m *ipc.Message, pl *peerLink, byte
 			n = rem
 		}
 		rem -= n
-		pending[f] = &winFrag{n: n}
+		pending[f] = &winFrag{n: n, off: f * unit}
 	}
 	s.stats.Windowed++
 	backoff := s.cfg.RetransmitBackoff
@@ -133,6 +134,19 @@ func (s *Server) forwardWindowed(p *sim.Proc, m *ipc.Message, pl *peerLink, byte
 				if !f.delivered {
 					s.stats.DeadPeers++
 					s.stats.Lost++
+					// Selective acks mean delivery may be non-contiguous:
+					// fragments no longer pending were delivered and acked,
+					// and pending ones carry per-fragment delivered flags.
+					// Credit every page whose span avoids all undelivered
+					// fragments.
+					s.creditPartial(p, m, pl, func(lo, hi int) bool {
+						for _, u := range pending {
+							if !u.delivered && lo < u.off+u.n && u.off < hi {
+								return false
+							}
+						}
+						return true
+					})
 					s.account(m, *handling)
 					s.nack(p, m)
 					return false

@@ -123,6 +123,7 @@ type Stats struct {
 	// Content-addressed store counters (dedup enabled only).
 	LocalServes  uint64 // imaginary faults satisfied from the local content index
 	HolderServes uint64 // imaginary faults satisfied by a nearest-holder fetch
+	Repairs      uint64 // corrupt installs re-fetched by hash (integrity on)
 }
 
 // HitRatio reports the fraction of prefetched pages that were
@@ -634,6 +635,32 @@ func (pg *Pager) contentFault(p *sim.Proc, pl vm.Place, h uint64) bool {
 	delete(pg.hints, key)
 	pg.stats.HolderServes++
 	pg.inc("fault.served.holder")
+	return true
+}
+
+// RepairPage replaces one installed page whose content failed its
+// integrity checksum, fetching the true bytes named by hash: the local
+// content index first (a stale or corrupt entry fails its verify
+// re-hash, so the index can never hand the damage back), then a
+// HashRead to the holder the resolver names — for a migration install,
+// the source, which indexed every shipped page when it stamped the
+// checksums. A zero hash needs no fetch at all. Reports whether the
+// page now holds verified content; false sends the caller to its own
+// failure path.
+func (pg *Pager) RepairPage(p *sim.Proc, seg *vm.Segment, idx, hash uint64) bool {
+	if hash == vm.ZeroHash {
+		pg.cpu.UseHigh(p, pg.cfg.FillZeroCPU)
+		seg.MaterializeZero(idx)
+		pg.insert(seg, idx)
+	} else if !pg.contentFault(p, vm.Place{Seg: seg, PageIdx: idx}, hash) {
+		return false
+	}
+	if page := seg.Page(idx); page != nil {
+		// The repaired content still exists nowhere on local disk.
+		page.State.Dirty = true
+	}
+	pg.stats.Repairs++
+	pg.inc("fault.repaired")
 	return true
 }
 

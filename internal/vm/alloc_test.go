@@ -173,3 +173,55 @@ func TestAllocsReadInto(t *testing.T) {
 		t.Errorf("ReadInto allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+func TestAllocsIntegrityOff(t *testing.T) {
+	// With per-page checksums off, RIMAS attachments carry no Sums and
+	// the destination's install loop reduces to a slice-length check:
+	// the warm install path must stay allocation-free with the guard
+	// present, proving verification is off the hot path rather than
+	// merely cheap.
+	_, reg, phys := warmSpace(t, 64)
+	var sums []uint64 // integrity disabled: no checksums travelled
+	data := []byte("refill")
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		idx := uint64(i % 64)
+		pg := reg.Seg.Materialize(idx, data)
+		if int(idx) < len(sums) {
+			if h, _ := HashPage(pg.Data, DefaultPageSize); h != sums[idx] {
+				t.Fatal("checksum mismatch")
+			}
+		}
+		phys.Touch(reg.Seg, idx)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("integrity-off install path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestAllocsLedgerOff(t *testing.T) {
+	// With resumable retries off, a machine carries a nil DeliveryLedger
+	// and every transport call site degrades to a nil check: crediting
+	// and lookup on the warm transfer path must not touch the heap.
+	var led *DeliveryLedger // resume disabled
+	_, reg, phys := warmSpace(t, 64)
+	data := []byte("in flight")
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		idx := uint64(i % 64)
+		pg := reg.Seg.Materialize(idx, data)
+		phys.Touch(reg.Seg, idx)
+		led.Credit("proc", 42, pg.Data)
+		if led.Lookup("proc", 42, DefaultPageSize) != nil {
+			t.Fatal("disabled ledger hit")
+		}
+		if led.Pages("proc") != 0 {
+			t.Fatal("disabled ledger holds pages")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("ledger-off transfer path allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -122,6 +122,16 @@ type DedupConfig struct {
 	// Compress adds the modeled per-run compression to shipped runs
 	// (requires Enabled).
 	Compress bool
+	// Resume retains delivered page content across failed migration
+	// attempts in a destination-side DeliveryLedger, so a retry's
+	// manifest exchange elides pages that already made the crossing.
+	// Resume works with or without Enabled: on its own it runs the
+	// manifest exchange purely for ledger elision.
+	Resume bool
+	// Integrity stamps per-page checksums on migration payload
+	// attachments, verifies them at install time, and repairs
+	// mismatches by single-page hash reads back to the source.
+	Integrity bool
 
 	// HashPerPageCPU is charged at the source for hashing one page when
 	// building a manifest (and at any machine indexing a page).
@@ -140,6 +150,9 @@ type DedupConfig struct {
 // compressor costs about a quarter of the 13 ms fragment handling it
 // can save; a local serve is a frame copy plus map-in bookkeeping.
 func (c DedupConfig) WithDefaults() DedupConfig {
+	if !c.Enabled && !c.Resume && !c.Integrity {
+		return c
+	}
 	if c.HashPerPageCPU == 0 {
 		c.HashPerPageCPU = 200 * time.Microsecond
 	}
@@ -154,3 +167,8 @@ func (c DedupConfig) WithDefaults() DedupConfig {
 	}
 	return c
 }
+
+// ManifestActive reports whether migrations run the OpManifest
+// exchange: for content elision (Enabled), for ledger-driven resume
+// (Resume), or both.
+func (c DedupConfig) ManifestActive() bool { return c.Enabled || c.Resume }

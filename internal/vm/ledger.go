@@ -1,0 +1,116 @@
+package vm
+
+// DeliveryLedger is the destination half of resumable migration: a
+// per-machine record of page content that arrived on the wire during
+// an attempt that later failed. The transport credits whole pages of
+// any fragment the peer acknowledged before the transfer died; the
+// next attempt's manifest classification consults the ledger and
+// elides pages whose content already made the crossing, so attempt
+// N+1 ships an incremental delta instead of the full image.
+//
+// The ledger is keyed by migration (process name) because a retry is
+// a new message exchange for the same logical migration: content from
+// one process's aborted transfer must never satisfy another's. Entries
+// survive the source's rollback (they model bytes physically present
+// in the destination kernel) but die with the destination machine —
+// a crashed destination forgets everything.
+//
+// Credited pages are stored by copy: the sender's buffers alias its
+// rollback snapshot and must not be retained across attempts. Lookup
+// re-hashes the stored copy before handing it out (the copy may have
+// been credited from a corrupted delivery), so a stale or damaged
+// entry degrades to a re-ship, never to silent corruption.
+type DeliveryLedger struct {
+	procs map[string]map[uint64][]byte
+	stats LedgerStats
+}
+
+// LedgerStats counts ledger traffic for trial results.
+type LedgerStats struct {
+	Credits uint64 // pages credited from aborted transfers
+	Resumed uint64 // pages served to a retry's classification
+	Stale   uint64 // entries dropped by the verify re-hash
+}
+
+// NewDeliveryLedger creates an empty ledger.
+func NewDeliveryLedger() *DeliveryLedger {
+	return &DeliveryLedger{procs: map[string]map[uint64][]byte{}}
+}
+
+// Credit records that the page with the given content hash arrived for
+// proc's migration, copying data. Zero pages are never credited: the
+// manifest already elides them by the ZeroHash sentinel. A nil ledger
+// ignores the credit.
+func (l *DeliveryLedger) Credit(proc string, hash uint64, data []byte) {
+	if l == nil || hash == ZeroHash {
+		return
+	}
+	pages := l.procs[proc]
+	if pages == nil {
+		pages = map[uint64][]byte{}
+		l.procs[proc] = pages
+	}
+	if _, ok := pages[hash]; ok {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	pages[hash] = cp
+	l.stats.Credits++
+}
+
+// Lookup returns the retained content for hash under proc's migration,
+// verifying the copy still hashes to its name. Misses and failed
+// verifications return nil; a failed verification also drops the
+// entry. Nil-safe.
+func (l *DeliveryLedger) Lookup(proc string, hash uint64, pageSize int) []byte {
+	if l == nil {
+		return nil
+	}
+	pages := l.procs[proc]
+	data, ok := pages[hash]
+	if !ok {
+		return nil
+	}
+	if h, _ := HashPage(data, pageSize); h != hash {
+		delete(pages, hash)
+		l.stats.Stale++
+		return nil
+	}
+	l.stats.Resumed++
+	return data
+}
+
+// Pages reports how many pages are retained for proc's migration.
+func (l *DeliveryLedger) Pages(proc string) int {
+	if l == nil {
+		return 0
+	}
+	return len(l.procs[proc])
+}
+
+// Forget drops everything retained for proc's migration — called when
+// the migration completes (the real image is installed) or is finally
+// abandoned.
+func (l *DeliveryLedger) Forget(proc string) {
+	if l == nil {
+		return
+	}
+	delete(l.procs, proc)
+}
+
+// Clear drops every retained page — the destination machine crashed.
+func (l *DeliveryLedger) Clear() {
+	if l == nil {
+		return
+	}
+	l.procs = map[string]map[uint64][]byte{}
+}
+
+// Stats returns a snapshot of ledger traffic.
+func (l *DeliveryLedger) Stats() LedgerStats {
+	if l == nil {
+		return LedgerStats{}
+	}
+	return l.stats
+}

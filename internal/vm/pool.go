@@ -78,5 +78,10 @@ func (p *FramePool) Put(f []byte) {
 // FreeFrames reports how many recycled frames are ready for reuse.
 func (p *FramePool) FreeFrames() int { return len(p.free) }
 
+// InUse reports how many handed-out frames have not been recycled.
+// The chaos campaign's frame-leak invariant compares it against a
+// census of frames actually reachable from live segments.
+func (p *FramePool) InUse() uint64 { return p.stats.Gets - p.stats.Puts }
+
 // Stats returns a snapshot of pool traffic.
 func (p *FramePool) Stats() FramePoolStats { return p.stats }

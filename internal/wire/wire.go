@@ -136,6 +136,10 @@ func encodeAttachment(w *buf, a *ipc.MemAttachment) {
 	w.u64(a.SegSize)
 	w.u64(uint64(a.Backing))
 	w.u32(uint32(a.CompBytes))
+	w.u32(uint32(len(a.Sums)))
+	for _, s := range a.Sums {
+		w.u64(s)
+	}
 	w.u32(uint32(len(a.Runs)))
 	for _, run := range a.Runs {
 		w.u64(run.Index)
@@ -208,6 +212,12 @@ func decodeAttachment(r *rdr) *ipc.MemAttachment {
 		Backing:   ipc.PortID(r.u64()),
 	}
 	a.CompBytes = int(r.u32())
+	if n := int(r.u32()); n > 0 {
+		a.Sums = make([]uint64, n)
+		for i := range a.Sums {
+			a.Sums[i] = r.u64()
+		}
+	}
 	n := int(r.u32())
 	for i := 0; i < n; i++ {
 		idx := r.u64()
