@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke identity report bench clean
+.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke cachesmoke identity report bench clean
 
 all: build
 
@@ -16,7 +16,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke identity
+check: build vet test race faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke cachesmoke identity
 
 # Fault-injection determinism gate: the resilience experiment — lossy
 # sweeps, crashes, a partition — must be byte-identical across two
@@ -69,6 +69,16 @@ dedupsmoke:
 chaossmoke:
 	$(GO) test -count=1 -run 'TestChaosSmoke|TestResumeRetrySavesBytes|TestManifestCrash' -v ./internal/experiments/ | grep -v '^=== RUN'
 	@echo "chaossmoke: 32-seed campaign holds all invariants"
+
+# Persistent memo-cache smoke: a cold -exp all run with the disk cache
+# enabled must match the golden byte-for-byte, a warm rerun must be
+# served entirely from disk and still match, and truncated or
+# bit-flipped entries must silently recompute, repair, and produce no
+# output drift.
+cachesmoke:
+	$(GO) test -count=1 -run 'TestGoldenWithDiskCache' -v ./cmd/migsim/ | grep -v '^=== RUN'
+	$(GO) test -count=1 -run 'TestDiskCacheWarmIdentity|TestDiskCacheCorruptionFallback' -v ./internal/experiments/ | grep -v '^=== RUN'
+	@echo "cachesmoke: warm rerun byte-identical, corrupt entries recompute"
 
 # Stop-and-wait identity gate: with the pipelined transport merged, the
 # default configuration (W=1, K=1) must still produce byte-identical

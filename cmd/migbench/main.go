@@ -62,11 +62,21 @@ type Baseline struct {
 	// SpeedupVerified reports whether grid_speedup was asserted > 1: a
 	// single-core host cannot verify parallel scaling, so the assertion
 	// is gated on NumCPU() > 1 and this records which regime produced
-	// the file.
-	SpeedupVerified bool    `json:"speedup_verified"`
-	SeqWallS        float64 `json:"grid_seq_wall_s"`      // sequential sweep, no cache
-	ParWallS        float64 `json:"grid_parallel_wall_s"` // engine sweep, fresh cache
-	Speedup         float64 `json:"grid_speedup"`
+	// the file. When it is false, SpeedupSkipReason says why the gate
+	// was skipped, so the bench trajectory can tell "gating skipped"
+	// from "speedup regressed".
+	SpeedupVerified   bool    `json:"speedup_verified"`
+	SpeedupSkipReason string  `json:"speedup_skip_reason,omitempty"`
+	SeqWallS          float64 `json:"grid_seq_wall_s"`      // sequential sweep, no cache
+	ParWallS          float64 `json:"grid_parallel_wall_s"` // engine sweep, fresh cache
+	Speedup           float64 `json:"grid_speedup"`
+	// Disk-cache sweep: the same grid swept twice through engines backed
+	// by one persistent cache directory — first cold (every cell
+	// simulated and written behind), then warm (every cell loaded from
+	// disk) — so the trajectory tracks what a cross-run rerun costs.
+	DiskColdWallS   float64 `json:"grid_disk_cold_wall_s"`
+	DiskWarmWallS   float64 `json:"grid_disk_warm_wall_s"`
+	DiskWarmSpeedup float64 `json:"grid_disk_warm_speedup"`
 	// Per-cell engine overhead, meaningful even on one core: the same
 	// cell simulated bare (RunTrial), through a one-worker engine with
 	// a cold cache (adds dispatch + fingerprint cost), and again memoized
@@ -108,6 +118,51 @@ func measureEngineOverhead(cfg experiments.Config, iters int) (directMS, engineM
 	return directMS / n, engineMS / n, memoMS / n, nil
 }
 
+// measureDiskSweep times the grid through the persistent disk cache:
+// once cold (an empty cache directory, so every cell simulates and is
+// written behind) and once warm (a fresh engine over the now-populated
+// directory, so every cell loads from disk). With dir empty a temp
+// directory is used and removed afterwards; a named directory persists
+// for cross-run inspection. The warm sweep is verified to have hit disk
+// for every cell — a silent fall-through to simulation would make the
+// "warm" number a lie.
+func measureDiskSweep(cfg experiments.Config, kinds []workload.Kind, parallel int, dir string) (coldS, warmS float64, err error) {
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "migbench-cache-")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	disk, err := experiments.OpenDiskCache(dir, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	cold := experiments.NewEngine(parallel)
+	cold.SetDisk(disk)
+	start := time.Now()
+	if _, err := cold.RunGrid(cfg, kinds); err != nil {
+		return 0, 0, err
+	}
+	coldS = time.Since(start).Seconds()
+
+	warmDisk, err := experiments.OpenDiskCache(dir, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	warm := experiments.NewEngine(parallel)
+	warm.SetDisk(warmDisk)
+	start = time.Now()
+	if _, err := warm.RunGrid(cfg, kinds); err != nil {
+		return 0, 0, err
+	}
+	warmS = time.Since(start).Seconds()
+	if st := warmDisk.Stats(); st.Misses > 0 {
+		return 0, 0, fmt.Errorf("warm disk sweep missed %d cells (hits %d): persistent cache not serving", st.Misses, st.Hits)
+	}
+	return coldS, warmS, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_grid.json", "output file")
 	kindsFlag := flag.String("kinds", "", "comma-separated workload filter (default: all seven)")
@@ -116,6 +171,7 @@ func main() {
 	vmOnly := flag.Bool("vmonly", false, "run only the VM microbenchmarks")
 	wireOut := flag.String("wire", "BENCH_wire.json", "transport window-sweep output file (empty = skip)")
 	wireOnly := flag.Bool("wireonly", false, "run only the transport window sweep")
+	memoDir := flag.String("memo-cache-dir", "", "directory for the disk-cache cold/warm sweep (default: fresh temp dir, removed afterwards)")
 	flag.Parse()
 
 	if *wireOut != "" && !*vmOnly {
@@ -186,12 +242,25 @@ func main() {
 	// The parallel-speedup assertion only means something with real
 	// cores to scale onto; a single-core host records the numbers but
 	// marks them unverified.
-	if runtime.NumCPU() > 1 && b.Workers > 1 {
+	switch {
+	case runtime.NumCPU() <= 1:
+		b.SpeedupSkipReason = "single-core host"
+	case b.Workers <= 1:
+		b.SpeedupSkipReason = "single engine worker"
+	default:
 		b.SpeedupVerified = true
 		if b.Speedup <= 1 {
 			fatal(fmt.Errorf("grid_speedup %.2fx <= 1 on a %d-core host (%d workers): parallel engine regressed",
 				b.Speedup, b.CPUs, b.Workers))
 		}
+	}
+
+	b.DiskColdWallS, b.DiskWarmWallS, err = measureDiskSweep(cfg, kinds, *parallel, *memoDir)
+	if err != nil {
+		fatal(err)
+	}
+	if b.DiskWarmWallS > 0 {
+		b.DiskWarmSpeedup = b.DiskColdWallS / b.DiskWarmWallS
 	}
 
 	b.CellDirectMS, b.CellEngineMS, b.CellMemoMS, err = measureEngineOverhead(cfg, 10)
@@ -219,6 +288,8 @@ func main() {
 		b.Cells, b.SeqWallS, b.ParWallS, b.Workers, b.Speedup, verified, *out)
 	fmt.Printf("migbench: cell overhead direct %.2fms, engine %.2fms (+%.2fms dispatch), memo %.3fms\n",
 		b.CellDirectMS, b.CellEngineMS, b.CellEngineMS-b.CellDirectMS, b.CellMemoMS)
+	fmt.Printf("migbench: disk cache cold %.2fs, warm %.2fs (%.1fx)\n",
+		b.DiskColdWallS, b.DiskWarmWallS, b.DiskWarmSpeedup)
 }
 
 func fatal(err error) {

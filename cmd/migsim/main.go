@@ -14,6 +14,7 @@
 //	migsim -exp summary -dedup      # any experiment with the page store on
 //	migsim -exp summary -window 16  # any experiment under a pipelined transport
 //	migsim -exp table4-5 -faults plan.json -max-retries 2
+//	migsim -exp all -memo-cache   # warm reruns load trial results from .migcache/
 //	migsim -list
 //
 // Trials are scheduled by the experiments.Engine: independent grid
@@ -104,9 +105,18 @@ func main() {
 	seed := flag.Uint64("seed", 0, "base seed perturbing all random streams (0 = calibrated defaults)")
 	parallel := flag.Int("parallel", 0, "trial worker-pool width (0 = GOMAXPROCS; 1 = sequential)")
 	profile := flag.Bool("profile", false, "profile one traced migration per workload x strategy (critical path, blame, downtime) instead of running -exp")
+	memoCache := flag.Bool("memo-cache", false, "persist trial results in a disk cache (default .migcache/) reused across runs")
+	memoCacheDir := flag.String("memo-cache-dir", "", "disk cache directory (implies -memo-cache)")
 	flag.Parse()
 
 	experiments.SetWorkers(*parallel)
+	if *memoCache || *memoCacheDir != "" {
+		d, err := experiments.OpenDiskCache(*memoCacheDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.Default.SetDisk(d)
+	}
 
 	if *list {
 		for _, id := range experimentOrder {

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
 	"testing"
 
+	"accentmig/internal/experiments"
 	"accentmig/internal/workload"
 )
 
@@ -45,6 +49,73 @@ func TestParseKindsUnknown(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("table9-9", workload.Kinds()); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// captureRunAll runs every -exp all experiment with stdout captured,
+// exactly as `migsim -exp all` would emit it.
+func captureRunAll(t *testing.T) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	for _, id := range experimentOrder {
+		if err := run(id, workload.Kinds()); err != nil {
+			os.Stdout = old
+			w.Close()
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	w.Close()
+	return <-done
+}
+
+// TestGoldenWithDiskCache is the warm-vs-cold byte-identity gate: the
+// full -exp all output must match testdata/exp_all.golden with the
+// persistent cache enabled, both on the cold run that populates the
+// cache and on a warm rerun served entirely from disk.
+func TestGoldenWithDiskCache(t *testing.T) {
+	golden, err := os.ReadFile("../../testdata/exp_all.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := experiments.OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.Default.Reset()
+	experiments.Default.SetDisk(d)
+	defer func() {
+		experiments.Default.SetDisk(nil)
+		experiments.Default.Reset()
+	}()
+
+	cold := captureRunAll(t)
+	if !bytes.Equal(cold, golden) {
+		t.Fatalf("cold output with cache enabled differs from golden (%d vs %d bytes)", len(cold), len(golden))
+	}
+	if st := d.Stats(); st.Writes == 0 {
+		t.Fatalf("cold run persisted nothing (stats %+v)", st)
+	}
+
+	// Drop the in-memory level so the warm run can only be served from
+	// disk.
+	experiments.Default.Reset()
+	warm := captureRunAll(t)
+	if !bytes.Equal(warm, golden) {
+		t.Fatalf("warm output from disk cache differs from golden (%d vs %d bytes)", len(warm), len(golden))
+	}
+	if st := d.Stats(); st.Hits == 0 {
+		t.Fatalf("warm run never hit the disk cache (stats %+v)", st)
 	}
 }
 

@@ -32,6 +32,11 @@ type Engine struct {
 	// workers is the pool width; <= 0 selects runtime.GOMAXPROCS(0).
 	workers int
 
+	// disk, when non-nil, is the persistent second level of the cache:
+	// owners consult it before simulating and write freshly computed
+	// results behind. Install it before running experiments.
+	disk *DiskCache
+
 	mu    sync.Mutex
 	cache map[cacheKey]*cacheEntry
 }
@@ -76,6 +81,33 @@ var Default = NewEngine(0)
 // GOMAXPROCS default). Call it before running experiments.
 func SetWorkers(n int) { Default.workers = n }
 
+// SetDisk attaches (or with nil detaches) a persistent disk cache as
+// the engine's second level. Call it before running experiments; the
+// field is read without locking by the worker pool.
+func (e *Engine) SetDisk(d *DiskCache) { e.disk = d }
+
+// Disk reports the attached persistent cache, if any.
+func (e *Engine) Disk() *DiskCache { return e.disk }
+
+// diskLoad consults the persistent cache for an owner about to
+// simulate key. A payload of the wrong variant (possible only through
+// a stale or hand-damaged file, since the variant is in the filename)
+// counts as a miss.
+func (e *Engine) diskLoad(key cacheKey) (*memoPayload, bool) {
+	if e.disk == nil {
+		return nil, false
+	}
+	return e.disk.load(key)
+}
+
+// diskStore writes a freshly computed result behind the in-memory
+// cache. Errors are never stored: a failed trial re-runs next process.
+func (e *Engine) diskStore(key cacheKey, p *memoPayload) {
+	if e.disk != nil {
+		e.disk.store(key, p)
+	}
+}
+
 // Workers reports the resolved pool width.
 func (e *Engine) Workers() int {
 	if e.workers > 0 {
@@ -104,9 +136,13 @@ func (e *Engine) CachedCells() int {
 // constants, and the process-wide base seed perturbing the workload
 // reference traces. The Sink is deliberately excluded — it observes a
 // trial without affecting it — and sink-carrying configs skip the cache
-// anyway. Stability is only needed within one process (the cache dies
-// with it), so the %#v rendering of the nested config structs is a
-// sufficient canonical form.
+// anyway. The fingerprint also keys the persistent disk cache, so it
+// must be stable across processes: every nested config struct is a
+// plain value type (no pointers, maps, or funcs), which makes the %#v
+// rendering a canonical form for a fixed Go version — and the disk
+// cache namespaces its entries by Go version precisely so that a
+// toolchain change (or a struct change, which alters the rendering and
+// hence the fingerprint) can never revive a stale entry.
 func (c Config) fingerprint() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%#v|%#v|%#v|%d", c.Machine, c.Link, c.tuning(), xrand.BaseSeed())
@@ -150,8 +186,16 @@ func (e *Engine) trialFP(fp uint64, cfg Config, k workload.Kind, s core.Strategy
 	key := cacheKey{fp: fp, variant: variantGrid, GridKey: GridKey{k, s, pf}}
 	ent, owner := e.lookup(key)
 	if owner {
-		ent.tr, ent.err = RunTrial(cfg, k, s, pf)
-		close(ent.done)
+		if p, ok := e.diskLoad(key); ok && p.Trial != nil {
+			ent.tr = p.Trial
+			close(ent.done)
+		} else {
+			ent.tr, ent.err = RunTrial(cfg, k, s, pf)
+			close(ent.done)
+			if ent.err == nil {
+				e.diskStore(key, &memoPayload{Trial: ent.tr})
+			}
+		}
 	}
 	return ent.tr, ent.err
 }
@@ -206,8 +250,16 @@ func (e *Engine) holdFP(fp uint64, cfg Config, k workload.Kind, s core.Strategy)
 	key := cacheKey{fp: fp, variant: variantHold, GridKey: GridKey{k, s, 0}}
 	ent, owner := e.lookup(key)
 	if owner {
-		ent.hold, ent.err = RunHoldTrial(cfg, k, s)
-		close(ent.done)
+		if p, ok := e.diskLoad(key); ok && p.Hold != nil {
+			ent.hold = p.Hold
+			close(ent.done)
+		} else {
+			ent.hold, ent.err = RunHoldTrial(cfg, k, s)
+			close(ent.done)
+			if ent.err == nil {
+				e.diskStore(key, &memoPayload{Hold: ent.hold})
+			}
+		}
 	}
 	return ent.hold, ent.err
 }
@@ -224,8 +276,16 @@ func (e *Engine) ResilienceTrial(cfg Config, k workload.Kind, s core.Strategy, r
 	key := cacheKey{fp: h.Sum64(), variant: variantResilience, GridKey: GridKey{k, s, 0}}
 	ent, owner := e.lookup(key)
 	if owner {
-		ent.res, ent.err = RunResilienceTrial(cfg, k, s, ropts)
-		close(ent.done)
+		if p, ok := e.diskLoad(key); ok && p.Res != nil {
+			ent.res = p.Res
+			close(ent.done)
+		} else {
+			ent.res, ent.err = RunResilienceTrial(cfg, k, s, ropts)
+			close(ent.done)
+			if ent.err == nil {
+				e.diskStore(key, &memoPayload{Res: ent.res})
+			}
+		}
 	}
 	return ent.res, ent.err
 }

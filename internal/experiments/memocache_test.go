@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"accentmig/internal/core"
+	"accentmig/internal/workload"
+)
+
+// sameResult compares two results through a gob round trip of each, so
+// a freshly simulated value and one decoded from disk compare equal
+// despite gob's canonicalizations (empty slices decode as nil), while
+// any real value drift — a changed number anywhere in the tree — does
+// not. Exactly one field pair should be set, mirroring memoPayload.
+func sameResult(t *testing.T, a, b *memoPayload) bool {
+	t.Helper()
+	norm := func(p *memoPayload) *memoPayload {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+			t.Fatal(err)
+		}
+		var out memoPayload
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+	return reflect.DeepEqual(norm(a), norm(b))
+}
+
+// entryFiles lists the cache's entry files, failing the test on error.
+func entryFiles(t *testing.T, d *DiskCache) []string {
+	t.Helper()
+	ents, err := os.ReadDir(d.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, filepath.Join(d.Dir(), e.Name()))
+	}
+	return names
+}
+
+func newDiskEngine(t *testing.T, dir string) (*Engine, *DiskCache) {
+	t.Helper()
+	d, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(1)
+	e.SetDisk(d)
+	return e, d
+}
+
+// TestDiskCacheWarmIdentity runs grid, hold, and resilience trials
+// cold, then again through a fresh engine over the same directory, and
+// demands every warm result be served from disk with no value drift.
+func TestDiskCacheWarmIdentity(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{}
+	keys := GridKeys([]workload.Kind{workload.Minprog, workload.Chess})
+	ropts := ResilienceOptions{MaxRetries: 1, Degrade: true, AckTimeout: time.Minute}
+
+	cold, cd := newDiskEngine(t, dir)
+	coldTrials, err := cold.Trials(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldHold, err := cold.HoldTrial(cfg, workload.Minprog, core.PureCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.ResilienceTrial(cfg, workload.Minprog, core.PureCopy, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cd.Stats(); st.Writes == 0 || st.Hits != 0 {
+		t.Fatalf("cold stats = %+v, want writes > 0 and no hits", st)
+	}
+
+	warm, wd := newDiskEngine(t, dir)
+	warmTrials, err := warm.Trials(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmHold, err := warm.HoldTrial(cfg, workload.Minprog, core.PureCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := warm.ResilienceTrial(cfg, workload.Minprog, core.PureCopy, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := wd.Stats()
+	if st.Misses != 0 || st.Rejects != 0 {
+		t.Fatalf("warm stats = %+v, want every lookup served from disk", st)
+	}
+	if want := uint64(len(keys) + 2); st.Hits != want {
+		t.Fatalf("warm hits = %d, want %d", st.Hits, want)
+	}
+	for i := range keys {
+		if !sameResult(t, &memoPayload{Trial: coldTrials[i]}, &memoPayload{Trial: warmTrials[i]}) {
+			t.Errorf("%v: warm trial drifted from cold", keys[i])
+		}
+	}
+	if !sameResult(t, &memoPayload{Hold: coldHold}, &memoPayload{Hold: warmHold}) {
+		t.Error("warm hold trial drifted from cold")
+	}
+	if !sameResult(t, &memoPayload{Res: coldRes}, &memoPayload{Res: warmRes}) {
+		t.Error("warm resilience trial drifted from cold")
+	}
+}
+
+// TestDiskCacheCorruptionFallback truncates one on-disk entry and
+// bit-flips another mid-file, then asserts a warm engine silently
+// recomputes both without error or drift — and repairs the files, so a
+// third engine is served entirely from disk again.
+func TestDiskCacheCorruptionFallback(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{}
+	keys := []GridKey{
+		{workload.Minprog, core.PureCopy, 0},
+		{workload.Minprog, core.PureIOU, 0},
+	}
+	cold, _ := newDiskEngine(t, dir)
+	coldTrials, err := cold.Trials(cfg, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	files := entryFiles(t, cold.Disk())
+	if len(files) != 2 {
+		t.Fatalf("entry files = %d, want 2", len(files))
+	}
+	// Truncate the first mid-payload.
+	info, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(files[0], info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the middle of the second.
+	raw, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(files[1], raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, wd := newDiskEngine(t, dir)
+	warmTrials, err := warm.Trials(cfg, keys)
+	if err != nil {
+		t.Fatalf("corrupt entries surfaced an error: %v", err)
+	}
+	for i := range keys {
+		if !sameResult(t, &memoPayload{Trial: coldTrials[i]}, &memoPayload{Trial: warmTrials[i]}) {
+			t.Errorf("%v: recomputed trial drifted", keys[i])
+		}
+	}
+	st := wd.Stats()
+	if st.Rejects != 2 || st.Hits != 0 || st.Writes != 2 {
+		t.Fatalf("warm stats = %+v, want both entries rejected, recomputed, and rewritten", st)
+	}
+
+	repaired, rd := newDiskEngine(t, dir)
+	if _, err := repaired.Trials(cfg, keys); err != nil {
+		t.Fatal(err)
+	}
+	if st := rd.Stats(); st.Hits != 2 || st.Rejects != 0 {
+		t.Fatalf("post-repair stats = %+v, want both served from disk", st)
+	}
+}
+
+// TestDiskCacheVariantsAreDistinct guards the filename keying: a grid
+// trial and a hold trial of the same (kind, strategy) must not collide.
+func TestDiskCacheVariantsAreDistinct(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{}
+	cold, cd := newDiskEngine(t, dir)
+	if _, err := cold.Trial(cfg, workload.Minprog, core.PureCopy, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.HoldTrial(cfg, workload.Minprog, core.PureCopy); err != nil {
+		t.Fatal(err)
+	}
+	if st := cd.Stats(); st.Writes != 2 {
+		t.Fatalf("writes = %d, want 2 distinct entries", st.Writes)
+	}
+	if files := entryFiles(t, cd); len(files) != 2 {
+		t.Fatalf("entry files = %d, want 2", len(files))
+	}
+}
+
+// TestDiskCachePrune stores entries past a tiny size cap and asserts
+// the oldest are evicted, the newest survive, and the directory ends up
+// under the cap.
+func TestDiskCachePrune(t *testing.T) {
+	d, err := OpenDiskCache(t.TempDir(), 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) cacheKey { return cacheKey{fp: uint64(i), variant: variantGrid} }
+	payload := &memoPayload{Trial: &TrialResult{BytesTotal: 1}}
+	const n = 40
+	for i := 0; i < n; i++ {
+		d.store(key(i), payload)
+		time.Sleep(2 * time.Millisecond) // distinct mtimes for eviction order
+	}
+	if got := d.scanSize(); got > 8192 {
+		t.Fatalf("cache size %d exceeds cap 8192 after prune", got)
+	}
+	if _, ok := d.load(key(0)); ok {
+		t.Error("oldest entry survived the prune")
+	}
+	if _, ok := d.load(key(n - 1)); !ok {
+		t.Error("newest entry was pruned")
+	}
+}
+
+// TestDiskCacheSkipsErrors ensures failed trials are never persisted:
+// an unknown workload kind errors cold and errors again warm.
+func TestDiskCacheSkipsErrors(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{}
+	bad := workload.Kind(99)
+	cold, cd := newDiskEngine(t, dir)
+	if _, err := cold.Trial(cfg, bad, core.PureCopy, 0); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	if st := cd.Stats(); st.Writes != 0 {
+		t.Fatalf("failed trial was persisted (writes = %d)", st.Writes)
+	}
+	warm, wd := newDiskEngine(t, dir)
+	if _, err := warm.Trial(cfg, bad, core.PureCopy, 0); err == nil {
+		t.Fatal("unknown workload did not error warm")
+	}
+	if st := wd.Stats(); st.Hits != 0 {
+		t.Fatalf("failed trial was served from disk (hits = %d)", st.Hits)
+	}
+}

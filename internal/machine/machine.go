@@ -503,31 +503,50 @@ func (m *Machine) ImageHash(name string) (uint64, bool) {
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
-	h := uint64(offset64)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	mix64 := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			mix(byte(v >> (8 * i)))
+	// An absent page mixes a zero byte: h ^= 0 is a no-op, so the whole
+	// page costs one h *= prime64. A run of n absent pages is therefore
+	// h *= prime64^n, computable in O(log n) by square-and-multiply —
+	// uint64 multiplication is already mod 2^64. This is what makes
+	// hashing a sparse 4 GB Lisp space (8M page slots, ~4K materialized)
+	// cheap: the gaps are skipped by bitmap run sweeps and collapse to a
+	// handful of multiplies, bit-identical to the page-at-a-time walk.
+	skipAbsent := func(h uint64, n uint64) uint64 {
+		p := uint64(prime64)
+		for ; n > 0; n >>= 1 {
+			if n&1 != 0 {
+				h *= p
+			}
+			p *= p
 		}
+		return h
 	}
+	h := uint64(offset64)
 	ps := uint64(m.cfg.PageSize)
 	for _, r := range pr.AS.Regions() {
-		mix64(uint64(r.Start))
+		v := uint64(r.Start)
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * i) & 0xff
+			h *= prime64
+		}
 		first := r.SegOff / ps
 		last := (r.SegOff + r.Size() + ps - 1) / ps
-		for idx := first; idx < last; idx++ {
-			pg := r.Seg.Page(idx)
-			if pg == nil {
-				mix(0)
-				continue
+		for idx := first; idx < last; {
+			start, end, ok := r.Seg.NextRun(idx, last-1)
+			if !ok {
+				h = skipAbsent(h, last-idx)
+				break
 			}
-			mix(1)
-			for _, b := range pg.Data {
-				mix(b)
+			h = skipAbsent(h, start-idx)
+			for i := start; i < end; i++ {
+				pg := r.Seg.Page(i)
+				h ^= 1
+				h *= prime64
+				for _, b := range pg.Data {
+					h ^= uint64(b)
+					h *= prime64
+				}
 			}
+			idx = end
 		}
 	}
 	return h, true

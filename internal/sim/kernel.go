@@ -30,6 +30,7 @@ type Kernel struct {
 	now    time.Duration
 	seq    uint64
 	events eventHeap
+	nowq   nowRing // zero-delay events for the current instant
 
 	// yield is the rendezvous on which the currently running Proc hands
 	// control back to the kernel. Only one Proc runs at a time, so a
@@ -110,12 +111,21 @@ func machineOf(name string) string {
 // Schedule arranges for fn to run at Now()+d in kernel (callback)
 // context. A negative delay is treated as zero. Events scheduled for the
 // same instant run in the order they were scheduled.
+//
+// Zero-delay events — every wake-up, unpark, and queue hand-off in the
+// simulation — bypass the heap entirely and land on a FIFO ring for the
+// current instant. This is safe because a heap entry with at == now can
+// only have been pushed before the clock reached now (push requires
+// d > 0), i.e. it precedes every ring entry in scheduling order; the
+// dispatch loop therefore drains heap entries at the current instant
+// first, then the ring, which is exactly FIFO scheduling order.
 func (k *Kernel) Schedule(d time.Duration, fn func()) {
 	if fn == nil {
 		panic("sim: Schedule with nil function")
 	}
-	if d < 0 {
-		d = 0
+	if d <= 0 {
+		k.nowq.push(fn)
+		return
 	}
 	k.events.push(event{at: k.now + d, seq: k.seq, fn: fn})
 	k.seq++
@@ -142,7 +152,24 @@ func (k *Kernel) Run() time.Duration {
 		panic("sim: Run called from proc context")
 	}
 	k.stopped = false
-	for len(k.events.h) > 0 && !k.stopped {
+	for !k.stopped {
+		// Heap entries already due fire before the now-ring: they were
+		// scheduled before the clock reached this instant, so they are
+		// earlier in FIFO order than any ring entry (see Schedule).
+		if len(k.events.h) > 0 && k.events.h[0].at == k.now {
+			e := k.events.pop()
+			k.ran++
+			e.fn()
+			continue
+		}
+		if fn := k.nowq.pop(); fn != nil {
+			k.ran++
+			fn()
+			continue
+		}
+		if len(k.events.h) == 0 {
+			break
+		}
 		if k.hasDL && k.events.h[0].at > k.deadline {
 			// Leave it queued; a later RunUntil may want it.
 			k.now = k.deadline
@@ -176,13 +203,43 @@ func (k *Kernel) RunUntil(t time.Duration) time.Duration {
 }
 
 // Idle reports whether no events are pending.
-func (k *Kernel) Idle() bool { return len(k.events.h) == 0 }
+func (k *Kernel) Idle() bool { return len(k.events.h) == 0 && k.nowq.empty() }
 
 // LiveProcs reports the number of procs that have been started and have
 // not yet returned. A nonzero value with an idle heap means those procs
 // are blocked forever (e.g. servers waiting for requests), which is the
 // normal end state of an OS simulation.
 func (k *Kernel) LiveProcs() int { return k.live }
+
+// nowRing is a head-indexed FIFO ring of zero-delay events for the
+// current instant. The same-instant case dominates dispatch (every
+// unpark, queue hand-off, and gate open is a zero-delay event), and a
+// ring turns each of those from an O(log n) heap sift into an append
+// and an indexed read. The backing array is reused once drained, so
+// steady-state traffic allocates nothing.
+type nowRing struct {
+	fns  []func()
+	head int
+}
+
+func (r *nowRing) push(fn func()) { r.fns = append(r.fns, fn) }
+
+func (r *nowRing) empty() bool { return r.head == len(r.fns) }
+
+// pop removes and returns the head entry, or nil if the ring is empty.
+func (r *nowRing) pop() func() {
+	if r.head == len(r.fns) {
+		return nil
+	}
+	fn := r.fns[r.head]
+	r.fns[r.head] = nil // release the closure to the GC
+	r.head++
+	if r.head == len(r.fns) {
+		r.fns = r.fns[:0]
+		r.head = 0
+	}
+	return fn
+}
 
 // event is a single heap entry, stored by value: scheduling allocates
 // nothing beyond the amortized growth of the heap's backing array.
@@ -238,14 +295,26 @@ func (eh *eventHeap) pop() event {
 			if c >= n {
 				break
 			}
-			end := c + 4
-			if end > n {
-				end = n
-			}
 			m := c
-			for j := c + 1; j < end; j++ {
-				if h[j].before(&h[m]) {
-					m = j
+			if c+4 <= n {
+				// All four children exist (the overwhelmingly common
+				// case on a full level): unrolled min scan with the
+				// bounds known, sparing the inner loop's per-iteration
+				// compare against end.
+				if h[c+1].before(&h[m]) {
+					m = c + 1
+				}
+				if h[c+2].before(&h[m]) {
+					m = c + 2
+				}
+				if h[c+3].before(&h[m]) {
+					m = c + 3
+				}
+			} else {
+				for j := c + 1; j < n; j++ {
+					if h[j].before(&h[m]) {
+						m = j
+					}
 				}
 			}
 			if !h[m].before(&last) {

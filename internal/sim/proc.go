@@ -130,7 +130,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	if !k.hasDL && !k.stopped && (len(k.events.h) == 0 || k.events.h[0].at > k.now+d) {
+	if !k.hasDL && !k.stopped && k.nowq.empty() && (len(k.events.h) == 0 || k.events.h[0].at > k.now+d) {
 		if k.cur != p {
 			panic(fmt.Sprintf("sim: proc %q sleeping while not current", p.name))
 		}

@@ -27,7 +27,12 @@ type qwaiter[T any] struct {
 	item      T
 	delivered bool
 	cancelled bool // timeout fired or proc killed before delivery
-	timed     bool // a PopTimeout closure may still reference this waiter
+
+	// gen distinguishes successive uses of a recycled waiter. A
+	// PopTimeout closure captures the generation it was armed for and
+	// does nothing if the waiter has since been recycled, so timed
+	// waiters can go back on the free list like any other.
+	gen uint64
 }
 
 // NewQueue returns an empty queue bound to kernel k.
@@ -55,19 +60,16 @@ func (q *Queue[T]) getWaiter(p *Proc) *qwaiter[T] {
 		w := q.free[n-1]
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
-		*w = qwaiter[T]{p: p}
+		*w = qwaiter[T]{p: p, gen: w.gen + 1}
 		return w
 	}
 	return &qwaiter[T]{p: p}
 }
 
-// putWaiter recycles a waiter that nothing references anymore. Waiters
-// with a pending timeout closure are never recycled: the closure may
-// fire after the waiter would have been reused.
+// putWaiter recycles a waiter that the queue no longer references. A
+// stale PopTimeout closure may still hold the pointer, but it checks
+// the generation before acting, so recycling is always safe.
 func (q *Queue[T]) putWaiter(w *qwaiter[T]) {
-	if w.timed {
-		return
-	}
 	q.free = append(q.free, w)
 }
 
@@ -164,18 +166,22 @@ func (q *Queue[T]) PopTimeout(p *Proc, d time.Duration) (T, bool) {
 		return q.popItem(), true
 	}
 	w := q.getWaiter(p)
-	w.timed = true
+	gen := w.gen
 	q.waiters = append(q.waiters, w)
 	q.k.Schedule(d, func() {
-		if !w.delivered && !w.cancelled {
+		if w.gen == gen && !w.delivered && !w.cancelled {
 			w.cancelled = true
 			p.UnparkExternal()
 		}
 	})
 	p.park()
 	if w.delivered {
-		return w.item, true
+		v := w.item
+		q.putWaiter(w)
+		return v, true
 	}
+	// Timed out (or spuriously resumed): the waiter is still queued, so
+	// it cannot be recycled here; Push pops, skips, and recycles it.
 	w.cancelled = true
 	var zero T
 	return zero, false

@@ -241,7 +241,9 @@ func (g *Gate) Open() {
 	}
 	g.open = true
 	ws := g.waiters
-	g.waiters = nil
+	// Keep the backing array for the next Close/Wait cycle; nothing can
+	// append while this (single-threaded, synchronous) loop runs.
+	g.waiters = g.waiters[:0]
 	for _, w := range ws {
 		if !w.killed && !w.done {
 			w.UnparkExternal()

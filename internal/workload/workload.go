@@ -15,6 +15,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"accentmig/internal/machine"
@@ -211,15 +212,33 @@ func (b *builder) region(start vm.Addr, pages uint64, name string) (*vm.Region, 
 	return b.pr.AS.Validate(start, pages*pg, name)
 }
 
+// fillRows holds every distinct page image fill can produce. The
+// content formula byte(reg.Start + i*31 + j*7) depends on (Start, i)
+// only through its low byte, so there are exactly 256 page images;
+// building them once and handing the shared row to Materialize (which
+// copies) removes the per-page allocation and byte loop from every
+// workload build — a few percent of whole-trial time.
+var (
+	fillRows     [256][pg]byte
+	fillRowsOnce sync.Once
+)
+
+func fillRow(s byte) []byte {
+	fillRowsOnce.Do(func() {
+		for s := 0; s < 256; s++ {
+			for j := 0; j < pg; j++ {
+				fillRows[s][j] = byte(s + j*7)
+			}
+		}
+	})
+	return fillRows[s][:]
+}
+
 // fill materializes [from, to) page indices of the region as real,
 // disk-backed pages with deterministic content, recording addresses.
 func (b *builder) fill(reg *vm.Region, from, to uint64) {
 	for i := from; i < to; i++ {
-		data := make([]byte, pg)
-		for j := range data {
-			data[j] = byte(uint64(reg.Start) + i*31 + uint64(j)*7)
-		}
-		page := reg.Seg.Materialize(i, data)
+		page := reg.Seg.Materialize(i, fillRow(byte(uint64(reg.Start)+i*31)))
 		page.State.OnDisk = true
 		b.real = append(b.real, reg.Start+vm.Addr(i*pg))
 	}
