@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke cachesmoke identity report bench clean
+.PHONY: all build test race vet check faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke cachesmoke shardsmoke identity report bench clean
 
 all: build
 
@@ -16,7 +16,7 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke cachesmoke identity
+check: build vet test race faultcheck benchsmoke pipelinesmoke profsmoke dedupsmoke chaossmoke cachesmoke shardsmoke identity
 
 # Fault-injection determinism gate: the resilience experiment — lossy
 # sweeps, crashes, a partition — must be byte-identical across two
@@ -79,6 +79,17 @@ cachesmoke:
 	$(GO) test -count=1 -run 'TestGoldenWithDiskCache' -v ./cmd/migsim/ | grep -v '^=== RUN'
 	$(GO) test -count=1 -run 'TestDiskCacheWarmIdentity|TestDiskCacheCorruptionFallback' -v ./internal/experiments/ | grep -v '^=== RUN'
 	@echo "cachesmoke: warm rerun byte-identical, corrupt entries recompute"
+
+# Sharded-kernel smoke gate: the lane/window scheduler's byte-identity
+# tests (cluster vs single kernel, scenario at 2/4/8 workers vs
+# sequential), the shards-off zero-alloc gate, and the end-to-end
+# shard-stress experiment — which asserts its own identity check — must
+# all pass.
+shardsmoke:
+	$(GO) test -count=1 -run 'TestClusterMatchesSingleKernel|TestAllocsShardsOff' -v ./internal/sim/ | grep -v '^=== RUN'
+	$(GO) test -count=1 -run 'TestShardStressDeterminism' -v ./internal/experiments/ | grep -v '^=== RUN'
+	$(GO) run ./cmd/migsim -exp shardstress > /dev/null
+	@echo "shardsmoke: sharded kernel byte-identical to sequential"
 
 # Stop-and-wait identity gate: with the pipelined transport merged, the
 # default configuration (W=1, K=1) must still produce byte-identical

@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"strings"
 	"time"
@@ -49,6 +50,20 @@ type Cell struct {
 	SimMsgS  float64 `json:"sim_msg_s"`  // simulated message-handling seconds
 	SimXferS float64 `json:"sim_xfer_s"` // simulated RIMAS transfer seconds
 	SimExecS float64 `json:"sim_exec_s"` // simulated remote-execution seconds
+}
+
+// ShardRow is one worker-count setting of the sharded-kernel sweep:
+// the same 32-machine shard-stress scenario run at a fixed lane count,
+// with the host cost and the window scheduler's own counters.
+type ShardRow struct {
+	Shards       int     `json:"shards"` // 1 = sequential kernel path
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Windows      uint64  `json:"windows"`
+	CrossEvents  uint64  `json:"cross_events"`
+	StallPct     float64 `json:"barrier_stall_pct"`
+	Speedup      float64 `json:"speedup_vs_seq"`
 }
 
 // Baseline is the whole report.
@@ -84,7 +99,17 @@ type Baseline struct {
 	CellDirectMS float64 `json:"cell_direct_ms"`
 	CellEngineMS float64 `json:"cell_engine_ms"`
 	CellMemoMS   float64 `json:"cell_memo_ms"`
-	Grid         []Cell  `json:"grid"`
+	// Sharded-kernel sweep: the shard-stress scenario at 32 machines run
+	// at 1/2/4/8 event-lane workers. Every sharded row's result is
+	// verified byte-identical to the sequential row before timing is
+	// trusted. The >= 2x speedup assertion at 4+ workers is gated the
+	// same way as grid_speedup: a single-core host records the rows but
+	// marks them unverified.
+	ShardMachines          int        `json:"shard_machines"`
+	ShardSpeedupVerified   bool       `json:"shard_speedup_verified"`
+	ShardSpeedupSkipReason string     `json:"shard_speedup_skip_reason,omitempty"`
+	ShardSweep             []ShardRow `json:"shard_sweep"`
+	Grid                   []Cell     `json:"grid"`
 }
 
 // measureEngineOverhead times one fixed cell (Minprog/Copy, the
@@ -161,6 +186,45 @@ func measureDiskSweep(cfg experiments.Config, kinds []workload.Kind, parallel in
 		return 0, 0, fmt.Errorf("warm disk sweep missed %d cells (hits %d): persistent cache not serving", st.Misses, st.Hits)
 	}
 	return coldS, warmS, nil
+}
+
+// measureShardSweep runs the shard-stress scenario at machines machines
+// once per worker count in shards (1 first, as the sequential baseline)
+// and returns the timing rows. Every sharded run's deterministic result
+// is checked byte-identical against the sequential run — a fast sharded
+// kernel that computes something different is worthless, so the sweep
+// refuses to report it.
+func measureShardSweep(machines int, shards []int) ([]ShardRow, error) {
+	var rows []ShardRow
+	var seq *experiments.ShardStressResult
+	for _, s := range shards {
+		o := experiments.ShardStressOptions{Machines: machines, Shards: s}
+		res, perf, err := experiments.RunShardStress(o)
+		if err != nil {
+			return nil, err
+		}
+		if s <= 1 {
+			seq = res
+		} else if !reflect.DeepEqual(res, seq) {
+			return nil, fmt.Errorf("shard sweep: %d-worker result differs from sequential kernel", s)
+		}
+		row := ShardRow{
+			Shards:       s,
+			WallMS:       float64(perf.Wall.Nanoseconds()) / 1e6,
+			Events:       perf.Events,
+			EventsPerSec: perf.EventsPerSec,
+			Windows:      perf.Windows,
+			CrossEvents:  perf.CrossEvents,
+			StallPct:     perf.StallPct,
+		}
+		if len(rows) == 0 {
+			row.Speedup = 1
+		} else if row.WallMS > 0 {
+			row.Speedup = rows[0].WallMS / row.WallMS
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 func main() {
@@ -268,6 +332,24 @@ func main() {
 		fatal(err)
 	}
 
+	b.ShardMachines = 32
+	b.ShardSweep, err = measureShardSweep(b.ShardMachines, []int{1, 2, 4, 8})
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case runtime.NumCPU() <= 1:
+		b.ShardSpeedupSkipReason = "single-core host"
+	default:
+		b.ShardSpeedupVerified = true
+		for _, row := range b.ShardSweep {
+			if row.Shards >= 4 && row.Speedup < 2 {
+				fatal(fmt.Errorf("shard sweep: %.2fx speedup at %d workers on a %d-core host, want >= 2x",
+					row.Speedup, row.Shards, runtime.NumCPU()))
+			}
+		}
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
@@ -290,6 +372,14 @@ func main() {
 		b.CellDirectMS, b.CellEngineMS, b.CellEngineMS-b.CellDirectMS, b.CellMemoMS)
 	fmt.Printf("migbench: disk cache cold %.2fs, warm %.2fs (%.1fx)\n",
 		b.DiskColdWallS, b.DiskWarmWallS, b.DiskWarmSpeedup)
+	for _, row := range b.ShardSweep {
+		mode := fmt.Sprintf("%d lanes", row.Shards)
+		if row.Shards <= 1 {
+			mode = "sequential"
+		}
+		fmt.Printf("migbench: shardstress %dm %-10s wall %7.1fms  %9.0f ev/s  stall %5.1f%%  speedup %.2fx\n",
+			b.ShardMachines, mode, row.WallMS, row.EventsPerSec, row.StallPct, row.Speedup)
+	}
 }
 
 func fatal(err error) {

@@ -51,9 +51,10 @@ var experimentOrder = []string{
 // flips the transport out of its paper-faithful stop-and-wait default,
 // the dedup sweep turns on the content-addressed page store, the
 // bottleneck sweep re-runs every cell traced, and the chaos campaign
-// runs hundreds of randomized fault trials, so all stay out of
+// runs hundreds of randomized fault trials, and the shard-stress
+// scenario prints host-measured throughput, so all stay out of
 // -exp all to keep that output byte-identical across releases.
-var extraExperiments = []string{"pipeline", "dedup", "bottleneck", "chaos"}
+var extraExperiments = []string{"pipeline", "dedup", "bottleneck", "chaos", "shardstress"}
 
 var tunables struct {
 	physFrames int
@@ -74,6 +75,7 @@ var tunables struct {
 	integrity bool
 
 	chaosTrials int
+	shards      int
 	seed        uint64
 
 	sink interface {
@@ -99,6 +101,7 @@ func main() {
 	flag.BoolVar(&tunables.resume, "resume", false, "enable the delivery ledger: retries resume from pages an aborted attempt already delivered")
 	flag.BoolVar(&tunables.integrity, "integrity", false, "enable per-page checksums with targeted re-fetch of corrupt installs")
 	flag.IntVar(&tunables.chaosTrials, "chaos-trials", 200, "randomized fault trials for -exp chaos")
+	flag.IntVar(&tunables.shards, "shards", 1, "event-lane workers for the sharded kernel in -exp shardstress (1 = sequential kernel, the default path)")
 	flag.BoolVar(&tunables.csv, "csv", false, "emit figure data as CSV instead of text")
 	trace := flag.String("trace", "", "write a flight-recorder trace of every simulation to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
@@ -437,6 +440,12 @@ func run(id string, kinds []workload.Kind) error {
 		if len(rep.Violations) > 0 {
 			return fmt.Errorf("chaos campaign found %d invariant violations", len(rep.Violations))
 		}
+	case "shardstress":
+		out, err := experiments.ShardStress(experiments.Default, tunables.shards)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

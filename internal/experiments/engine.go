@@ -54,16 +54,18 @@ const (
 	variantGrid uint8 = iota
 	variantHold
 	variantResilience
+	variantShard
 )
 
 // cacheEntry is a single-flight slot: the first requester computes, any
 // concurrent or later requester blocks on done and shares the result.
 type cacheEntry struct {
-	done chan struct{}
-	tr   *TrialResult
-	hold *HoldResult
-	res  *ResilienceOutcome
-	err  error
+	done  chan struct{}
+	tr    *TrialResult
+	hold  *HoldResult
+	res   *ResilienceOutcome
+	shard *ShardStressResult
+	err   error
 }
 
 // NewEngine returns an engine with the given worker-pool width
@@ -288,6 +290,36 @@ func (e *Engine) ResilienceTrial(cfg Config, k workload.Kind, s core.Strategy, r
 		}
 	}
 	return ent.res, ent.err
+}
+
+// ShardTrial is the memoized form of RunShardStress. Only the
+// deterministic result is cached; the host-side perf figures are a
+// property of one run and never stored. The worker count is erased
+// from the key — the scenario's results are byte-identical at any
+// Shards value, so a cached entry serves every execution mode. The
+// process-wide base seed joins the key because the scenario's decision
+// streams derive from it.
+func (e *Engine) ShardTrial(o ShardStressOptions) (*ShardStressResult, error) {
+	o = o.withDefaults()
+	keyOpts := o
+	keyOpts.Shards = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "shardstress|%d|%#v", xrand.BaseSeed(), keyOpts)
+	key := cacheKey{fp: h.Sum64(), variant: variantShard}
+	ent, owner := e.lookup(key)
+	if owner {
+		if p, ok := e.diskLoad(key); ok && p.Shard != nil {
+			ent.shard = p.Shard
+			close(ent.done)
+		} else {
+			ent.shard, _, ent.err = RunShardStress(o)
+			close(ent.done)
+			if ent.err == nil {
+				e.diskStore(key, &memoPayload{Shard: ent.shard})
+			}
+		}
+	}
+	return ent.shard, ent.err
 }
 
 // forParallel prepares a config for concurrent trials: a shared

@@ -38,11 +38,14 @@ const DefaultCacheDir = ".migcache"
 const DefaultCacheBytes = 256 << 20
 
 // memoPayload is the gob-encoded body of one cache entry. Exactly one
-// pointer is non-nil, matching the entry's variant.
+// pointer is non-nil, matching the entry's variant. Adding a field is
+// compatible with existing cache files: gob tolerates the missing
+// field, and new variants get fresh filenames anyway.
 type memoPayload struct {
 	Trial *TrialResult
 	Hold  *HoldResult
 	Res   *ResilienceOutcome
+	Shard *ShardStressResult
 }
 
 // DiskStats counts disk-cache traffic for one process.

@@ -160,6 +160,11 @@ type Machine struct {
 	cfg   Config
 	rec   *metrics.Recorder
 	procs map[string]*Process
+
+	// shard is the event lane the machine lives on when the simulation
+	// runs under a sim.Cluster; 0 (with K the shared kernel) otherwise.
+	// See shard.go.
+	shard int
 }
 
 // New builds a machine on kernel k and starts its NetMsgServer.

@@ -1,0 +1,19 @@
+package machine
+
+import "accentmig/internal/sim"
+
+// NewOnLane builds a machine on lane of cluster cl: every kernel object
+// the machine owns — CPU, disk, pager, queues, procs — lives on that
+// lane's kernel, so the whole machine executes inside the lane's
+// conservative windows and touches no other lane's state. The lane
+// index is the machine's shard affinity; cross-machine interaction must
+// go through lane-aware primitives (netlink.Iface, sim.Cluster.Send).
+func NewOnLane(cl *sim.Cluster, lane int, name string, cfg Config) *Machine {
+	m := New(cl.Lane(lane), name, cfg)
+	m.shard = lane
+	return m
+}
+
+// Shard reports the event lane the machine was built on; 0 for
+// machines on a plain shared kernel.
+func (m *Machine) Shard() int { return m.shard }

@@ -1,0 +1,118 @@
+package netlink
+
+import (
+	"testing"
+	"time"
+
+	"accentmig/internal/sim"
+)
+
+// ifaceCfg keeps the arithmetic legible: 1 MB/s makes one byte one
+// microsecond of wire time.
+var ifaceCfg = Config{Latency: 5 * time.Millisecond, BytesPerSecond: 1_000_000}
+
+// TestIfaceDeliveryTiming: a frame occupies the sender's wire for n
+// bytes at the configured rate, then arrives at latency plus the
+// per-sender phase skew.
+func TestIfaceDeliveryTiming(t *testing.T) {
+	k := sim.New()
+	src := NewIface(nil, k, 3, "m03.net", ifaceCfg)
+	dst := NewIface(nil, k, 7, "m07.net", ifaceCfg)
+	var sentAt, gotAt time.Duration
+	k.Go("tx", func(p *sim.Proc) {
+		src.Send(p, dst, 512, func() { gotAt = k.Now() })
+		sentAt = p.Now()
+	})
+	k.Run()
+	if want := 512 * time.Microsecond; sentAt != want {
+		t.Errorf("sender released at %v, want %v (wire time only)", sentAt, want)
+	}
+	// Arrival = tx end + latency + (lane 3 + 1) ns skew.
+	if want := 512*time.Microsecond + 5*time.Millisecond + 4; gotAt != want {
+		t.Errorf("delivered at %v, want %v", gotAt, want)
+	}
+	if src.Frames() != 1 || src.Bytes() != 512 {
+		t.Errorf("accounting = %d frames / %d bytes, want 1/512", src.Frames(), src.Bytes())
+	}
+	if src.BusyTime() != 512*time.Microsecond {
+		t.Errorf("wire busy %v, want 512µs", src.BusyTime())
+	}
+}
+
+// TestIfacePipelinesFrames: the sender pays only wire occupancy per
+// frame — propagation overlaps — so two back-to-back frames finish
+// sending at twice the frame time, not twice (frame time + latency).
+func TestIfacePipelinesFrames(t *testing.T) {
+	k := sim.New()
+	src := NewIface(nil, k, 0, "a.net", ifaceCfg)
+	dst := NewIface(nil, k, 1, "b.net", ifaceCfg)
+	var arrivals []time.Duration
+	var sendDone time.Duration
+	k.Go("tx", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			src.Send(p, dst, 1000, func() { arrivals = append(arrivals, k.Now()) })
+		}
+		sendDone = p.Now()
+	})
+	k.Run()
+	if want := 2 * time.Millisecond; sendDone != want {
+		t.Errorf("two frames sent by %v, want %v", sendDone, want)
+	}
+	want := []time.Duration{
+		1*time.Millisecond + 5*time.Millisecond + 1,
+		2*time.Millisecond + 5*time.Millisecond + 1,
+	}
+	if len(arrivals) != 2 || arrivals[0] != want[0] || arrivals[1] != want[1] {
+		t.Errorf("arrivals = %v, want %v (in send order)", arrivals, want)
+	}
+}
+
+// TestIfaceCrossLaneMatchesSharedKernel: the same two-machine exchange
+// produces identical virtual arrival times whether the machines share a
+// kernel or run on cluster lanes — the Iface half of the byte-identity
+// contract.
+func TestIfaceCrossLaneMatchesSharedKernel(t *testing.T) {
+	runIt := func(cl *sim.Cluster, ka, kb *sim.Kernel) []time.Duration {
+		a := NewIface(cl, ka, 0, "a.net", ifaceCfg)
+		b := NewIface(cl, kb, 1, "b.net", ifaceCfg)
+		var arrivals []time.Duration
+		reply := func(p *sim.Proc) { // b's reply path, runs on b's lane
+			b.Send(p, a, 64, func() { arrivals = append(arrivals, a.Kernel().Now()) })
+		}
+		ka.Go("client", func(p *sim.Proc) {
+			a.Send(p, b, 4096, func() {
+				arrivals = append(arrivals, b.Kernel().Now())
+				b.Kernel().Go("server", reply)
+			})
+		})
+		if cl != nil {
+			cl.Run(2)
+		} else {
+			ka.Run()
+		}
+		return arrivals
+	}
+
+	k := sim.New()
+	seq := runIt(nil, k, k)
+
+	cl := sim.NewCluster(2, 5*time.Millisecond)
+	par := runIt(cl, cl.Lane(0), cl.Lane(1))
+
+	if len(seq) != 2 || len(par) != 2 || seq[0] != par[0] || seq[1] != par[1] {
+		t.Errorf("shared-kernel arrivals %v != cross-lane arrivals %v", seq, par)
+	}
+}
+
+// TestIfaceLatencyBelowLookaheadPanics: building an interface whose
+// latency undercuts the cluster lookahead would let a lane affect a
+// peer inside the conservative horizon, so it must be rejected.
+func TestIfaceLatencyBelowLookaheadPanics(t *testing.T) {
+	cl := sim.NewCluster(2, 5*time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("iface latency below lookahead did not panic")
+		}
+	}()
+	NewIface(cl, nil, 0, "a.net", Config{Latency: time.Millisecond, BytesPerSecond: 1_000_000})
+}

@@ -205,6 +205,20 @@ func (k *Kernel) RunUntil(t time.Duration) time.Duration {
 // Idle reports whether no events are pending.
 func (k *Kernel) Idle() bool { return len(k.events.h) == 0 && k.nowq.empty() }
 
+// NextEventAt reports the virtual time of the earliest pending event and
+// whether one exists. Ring entries are due at the current instant, so a
+// non-empty now-ring reports Now(). The cluster scheduler uses this to
+// pick each conservative window's start without disturbing the queues.
+func (k *Kernel) NextEventAt() (time.Duration, bool) {
+	if !k.nowq.empty() {
+		return k.now, true
+	}
+	if len(k.events.h) == 0 {
+		return 0, false
+	}
+	return k.events.h[0].at, true
+}
+
 // LiveProcs reports the number of procs that have been started and have
 // not yet returned. A nonzero value with an idle heap means those procs
 // are blocked forever (e.g. servers waiting for requests), which is the

@@ -125,12 +125,17 @@ func (p *Proc) Done() bool { return p.done }
 // place. That elides the two yield-channel round trips (park + unpark)
 // that otherwise dominate the cost of fine-grained sleeps; observable
 // ordering is unchanged because no other event could have interleaved.
+// The path also applies under a RunUntil deadline as long as the wake
+// time does not overshoot it (RunUntil dispatches events at exactly the
+// deadline, so waking at k.deadline in place is equivalent); cluster
+// lanes run entirely inside RunUntil windows and would otherwise lose
+// the fast path for every sleep.
 func (p *Proc) Sleep(d time.Duration) {
 	k := p.k
 	if d < 0 {
 		d = 0
 	}
-	if !k.hasDL && !k.stopped && k.nowq.empty() && (len(k.events.h) == 0 || k.events.h[0].at > k.now+d) {
+	if (!k.hasDL || k.now+d <= k.deadline) && !k.stopped && k.nowq.empty() && (len(k.events.h) == 0 || k.events.h[0].at > k.now+d) {
 		if k.cur != p {
 			panic(fmt.Sprintf("sim: proc %q sleeping while not current", p.name))
 		}
